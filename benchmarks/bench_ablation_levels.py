@@ -1,0 +1,84 @@
+"""E5 (ours): contribution of each compiled-simulation level.
+
+The paper describes three compile-time steps (decoding, operation
+sequencing, operation instantiation) and implements the first two.
+This ablation measures the whole ladder, so the win of each step is
+visible in isolation:
+
+  interpretive -> predecoded (step 1) -> compiled (step 2, dynamic)
+  -> static (step 2, static scheduling) -> unfolded (step 3)
+  -> unfolded_static (step 3 + loop unfolding)
+"""
+
+from __future__ import annotations
+
+from repro.apps import build_fir
+from repro.bench import simulation_speed
+from repro.bench.reporting import ExperimentReport
+from repro.sim import SIM_KINDS
+
+_LADDER_NOTES = {
+    "interpretive": "all work at run-time",
+    "predecoded": "+ compile-time decoding (step 1)",
+    "compiled": "+ operation sequencing (step 2, dynamic)",
+    "static": "step 2 with static scheduling",
+    "unfolded": "+ operation instantiation (step 3)",
+    "unfolded_static": "step 3 + simulation-loop unfolding",
+}
+
+
+def test_ablation_levels_c62x(benchmark, fir_app):
+    report = ExperimentReport(
+        "E5-levels-c62x",
+        "compiled-simulation levels on the c62x FIR",
+        "paper implements steps 1+2 ('compiled'); step 3 is its announced "
+        "future work",
+    )
+    rates = {}
+    for kind in SIM_KINDS:
+        metrics = simulation_speed(fir_app, kind, min_runtime=1.0)
+        rates[kind] = metrics["cycles_per_s"]
+        report.add_row(
+            level=kind,
+            cycles_per_s=metrics["cycles_per_s"],
+            vs_interpretive=metrics["cycles_per_s"]
+            / rates["interpretive"],
+            note=_LADDER_NOTES[kind],
+        )
+    report.emit()
+
+    # The ladder must be monotone across the paper's three steps.
+    assert rates["predecoded"] > rates["interpretive"]
+    assert rates["compiled"] > rates["predecoded"]
+    assert rates["unfolded"] > rates["compiled"]
+
+    benchmark.pedantic(
+        lambda: simulation_speed(fir_app, "unfolded_static"),
+        rounds=1, iterations=1,
+    )
+
+
+def test_ablation_levels_tinydsp(benchmark):
+    app = build_fir("tinydsp", taps=8, samples=48)
+    report = ExperimentReport(
+        "E5-levels-tinydsp",
+        "compiled-simulation levels on the tinydsp FIR (4-stage, "
+        "flushing pipeline)",
+        "shallow front-end: smaller decode share, smaller compiled win",
+    )
+    rates = {}
+    for kind in SIM_KINDS:
+        metrics = simulation_speed(app, kind, min_runtime=1.0)
+        rates[kind] = metrics["cycles_per_s"]
+        report.add_row(
+            level=kind,
+            cycles_per_s=metrics["cycles_per_s"],
+            vs_interpretive=metrics["cycles_per_s"]
+            / rates["interpretive"],
+        )
+    report.emit()
+    assert rates["compiled"] > rates["interpretive"]
+    assert rates["unfolded"] > rates["predecoded"]
+    benchmark.pedantic(
+        lambda: simulation_speed(app, "compiled"), rounds=1, iterations=1
+    )

@@ -1,0 +1,73 @@
+"""E4 / paper Section 6.1 (text): accuracy equivalence.
+
+"Our generated simulator runs at ... the same accuracy level" -- the
+compiled simulator loses nothing relative to the interpretive reference.
+
+We assert something stronger than the paper could: every simulation
+level produces *bit-identical* architectural state, identical cycle
+counts and identical retired-instruction counts on every benchmark
+application, and all of them match an independent golden Python model
+of each algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.bench import load_app_program
+from repro.bench.reporting import ExperimentReport
+from repro.sim import SIM_KINDS, create_simulator
+
+
+def test_accuracy_crosscheck(benchmark, paper_apps):
+    report = ExperimentReport(
+        "E4-accuracy",
+        "bit-exactness across all simulation levels + golden check",
+        "'without any loss in accuracy' (paper Section 6.1)",
+    )
+    for app in paper_apps:
+        model, program = load_app_program(app)
+        reference = None
+        for kind in SIM_KINDS:
+            simulator = create_simulator(model, kind)
+            simulator.load_program(program)
+            stats = simulator.run()
+            app.verify(simulator.state)  # golden model check
+            signature = (
+                stats.cycles,
+                stats.instructions,
+                simulator.state.snapshot(),
+            )
+            if reference is None:
+                reference = (kind, signature)
+            else:
+                ref_kind, ref_signature = reference
+                assert signature[0] == ref_signature[0], (
+                    "%s vs %s: cycle counts differ on %s"
+                    % (kind, ref_kind, app.name)
+                )
+                assert signature[1] == ref_signature[1], (
+                    "%s vs %s: instruction counts differ on %s"
+                    % (kind, ref_kind, app.name)
+                )
+                assert signature[2] == ref_signature[2], (
+                    "%s vs %s: architectural state differs on %s"
+                    % (kind, ref_kind, app.name)
+                )
+        report.add_row(
+            workload=app.name,
+            cycles=reference[1][0],
+            instructions=reference[1][1],
+            levels_checked=len(SIM_KINDS),
+            golden="match",
+        )
+    report.emit()
+
+    app = paper_apps[0]
+    model, program = load_app_program(app)
+
+    def run_once():
+        simulator = create_simulator(model, "compiled")
+        simulator.load_program(program)
+        simulator.run()
+        return simulator.state.snapshot()
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)

@@ -1,0 +1,118 @@
+"""E8 (ours): compiled simulation inside HW/SW co-simulation.
+
+The paper's conclusion motivates integrating the generated software
+simulators into HW/SW co-simulation environments.  The question this
+ablation answers: does the compiled-simulation advantage survive the
+cycle-lockstep coupling with hardware models?
+
+Workload: the stream-processing scenario from ``repro.cosim`` -- the
+DSP between a hardware source and sink -- run with the software side on
+the interpretive vs the compiled simulator.  Results must be identical
+(the accuracy claim across the HW/SW boundary) and compiled must stay
+faster.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import build_toolset
+from repro.bench.reporting import ExperimentReport
+from repro.cosim import CoSimulation, RingBuffer, StreamSink, StreamSource
+from repro.models import load_model
+from repro.sim import create_simulator
+
+_PROGRAM = """
+        .entry start
+        .equ COUNT, 64
+start:  ldi r0, 1
+        ldi r6, 7
+        ldi r5, COUNT
+main:
+win:    ld r1, 16
+        ld r2, 17
+        sub r1, r1, r2
+        brnz r1, got
+        br win
+got:    ldi r3, 0
+        add r3, r3, r2
+        ld r3, *3
+        add r3, r3, r3
+        add r2, r2, r0
+        and r2, r2, r6
+        st r2, 17
+wout:   ld r1, 48
+        add r1, r1, r0
+        and r1, r1, r6
+        ld r2, 49
+        sub r4, r1, r2
+        brnz r4, space
+        br wout
+space:  ld r2, 48
+        ldi r4, 32
+        add r4, r4, r2
+        st r3, *4
+        add r2, r2, r0
+        and r2, r2, r6
+        st r2, 48
+        sub r5, r5, r0
+        brnz r5, main
+        halt
+"""
+
+_SAMPLES = [((i * 37) % 100) - 50 for i in range(64)]
+
+
+def _run(kind):
+    model = load_model("tinydsp")
+    tools = build_toolset(model)
+    simulator = create_simulator(model, kind)
+    simulator.load_program(tools.assembler.assemble_text(_PROGRAM))
+    cosim = CoSimulation()
+    cosim.add_processor(simulator)
+    in_ring = RingBuffer("dmem", base=0, length=8, head=16, tail=17)
+    out_ring = RingBuffer("dmem", base=32, length=8, head=48, tail=49)
+    cosim.add(StreamSource(simulator.state, in_ring, list(_SAMPLES)))
+    sink = cosim.add(
+        StreamSink(simulator.state, out_ring, expect=len(_SAMPLES))
+    )
+    start = time.perf_counter()
+    cycles = cosim.run(max_cycles=5_000_000)
+    elapsed = time.perf_counter() - start
+    return {
+        "cycles": cycles,
+        "cycles_per_s": cycles / elapsed if elapsed else float("inf"),
+        "received": sink.received,
+    }
+
+
+def test_cosim_levels(benchmark):
+    report = ExperimentReport(
+        "E8-cosim",
+        "compiled vs interpretive software simulation inside HW/SW "
+        "co-simulation",
+        "the paper's future-work integration, measured",
+    )
+    results = {}
+    for kind in ("interpretive", "compiled", "unfolded"):
+        results[kind] = _run(kind)
+        report.add_row(
+            software_sim=kind,
+            cycles=results[kind]["cycles"],
+            cosim_cycles_per_s=results[kind]["cycles_per_s"],
+            vs_interpretive=results[kind]["cycles_per_s"]
+            / results["interpretive"]["cycles_per_s"],
+        )
+    report.emit()
+
+    expected = [2 * s for s in _SAMPLES]
+    for kind, result in results.items():
+        assert result["received"] == expected, kind
+        assert result["cycles"] == results["interpretive"]["cycles"], (
+            "co-simulation cycle counts must not depend on the software "
+            "simulation level (%s)" % kind
+        )
+    assert results["compiled"]["cycles_per_s"] \
+        > results["interpretive"]["cycles_per_s"] * 2
+
+    benchmark.pedantic(lambda: _run("compiled"), rounds=1, iterations=1)

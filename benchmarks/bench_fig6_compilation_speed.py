@@ -1,0 +1,87 @@
+"""E1 / paper Figure 6: simulation-compilation speed.
+
+The paper compiles three applications (FIR, ADPCM, GSM encoder) into
+compiled simulations and reports application size, compilation time and
+a compilation speed of 530-560 instructions/second that stays flat even
+for the GSM coder that nearly fills program memory.
+
+We regenerate the figure: same three workloads, simulation compilation
+timed (the ``load_program`` of a compiled simulator), instructions/s
+reported per application -- and assert the paper's *shape*: compilation
+speed is roughly constant with application size.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import compilation_speed, load_app_program, paper_reference
+from repro.bench.reporting import ExperimentReport
+from repro.sim import create_simulator
+
+
+def test_fig6_compilation_speed(benchmark, paper_apps):
+    report = ExperimentReport(
+        "E1-fig6",
+        "simulation compilation speed vs application size",
+        "530-560 insn/s on a Sparc Ultra 10, flat across sizes "
+        "(%d-%d insn/s)" % paper_reference("compilation_speed_insn_per_s"),
+    )
+    speeds = []
+    for app in paper_apps:
+        metrics = compilation_speed(app)
+        speeds.append(metrics["insn_per_s"])
+        report.add_row(
+            workload=app.name,
+            words=metrics["words"],
+            compile_s=metrics["compile_s"],
+            insn_per_s=metrics["insn_per_s"],
+        )
+    flatness = max(speeds) / min(speeds)
+    report.add_row(flatness_max_over_min=flatness)
+    report.emit()
+
+    # Shape assertion: compilation speed roughly independent of size.
+    assert flatness < 4.0, (
+        "compilation speed should be roughly flat across sizes: %r" % speeds
+    )
+
+    # Record the largest compilation in the pytest-benchmark table.
+    gsm = paper_apps[-1]
+    model, program = load_app_program(gsm)
+
+    def compile_gsm():
+        simulator = create_simulator(model, "compiled")
+        start = time.perf_counter()
+        simulator.load_program(program)
+        return time.perf_counter() - start
+
+    benchmark.pedantic(compile_gsm, rounds=1, iterations=1)
+
+
+def test_fig6_size_sweep(benchmark):
+    """Extra resolution on the size axis with synthetic programs."""
+    from repro.apps import build_synthetic
+
+    report = ExperimentReport(
+        "E1-fig6-sweep",
+        "compilation speed across a synthetic size sweep",
+        "paper reports flat compilation speed (530-560 insn/s)",
+    )
+    speeds = []
+    for words in (256, 1024, 4096):
+        app = build_synthetic("c62x", target_words=words,
+                              branch_density=0.05, loop_iterations=2)
+        metrics = compilation_speed(app)
+        speeds.append(metrics["insn_per_s"])
+        report.add_row(words=metrics["words"],
+                       compile_s=metrics["compile_s"],
+                       insn_per_s=metrics["insn_per_s"])
+    report.emit()
+    assert max(speeds) / min(speeds) < 4.0
+
+    app = build_synthetic("c62x", target_words=1024, branch_density=0.05,
+                          loop_iterations=2)
+    benchmark.pedantic(
+        lambda: compilation_speed(app), rounds=1, iterations=1
+    )

@@ -1,0 +1,158 @@
+"""E9 (ours): external-memory wait states and compiled simulation.
+
+DSP systems of the paper's era frequently ran from external memory with
+wait states.  In LISA, a wait state is just a ``stall(n)`` in the
+memory operation's behaviour -- but stalls are pipeline-control
+requests, so they also disable static column composition around every
+load.  This experiment measures both effects:
+
+* cycle counts grow with the wait-state count (cycle accuracy),
+* compiled simulation keeps its speed advantage,
+* the *static* scheduler degrades toward the dynamic one as loads
+  (= control-capable instructions) saturate the windows.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import build_toolset
+from repro.bench.reporting import ExperimentReport
+from repro.lisa.semantics import compile_source
+from repro.sim import create_simulator
+
+_MODEL_TEMPLATE = r"""
+MODEL waity;
+RESOURCE {
+    PROGRAM_COUNTER uint32 PC;
+    REGISTER int R[8];
+    MEMORY uint16 pmem[512];
+    MEMORY int dmem[64];
+    PIPELINE pipe = { IF; ID; EX; WB };
+}
+CONFIG { WORDSIZE(16); PROGRAM_MEMORY(pmem); ROOT(insn);
+         EXECUTE_STAGE(EX); }
+OPERATION reg {
+    DECLARE { LABEL idx; }
+    CODING { idx[3] }
+    SYNTAX { "r" idx }
+    EXPRESSION { R[idx] }
+}
+OPERATION ld IN pipe.EX {
+    DECLARE { GROUP dst = { reg }; LABEL addr; }
+    CODING { 0b0001 dst addr[8] }
+    SYNTAX { "ld" dst "," addr }
+    BEHAVIOR {
+        dst = dmem[addr];
+        stall(%(wait_states)d);
+    }
+}
+OPERATION add IN pipe.EX {
+    DECLARE { GROUP dst = { reg }; GROUP src1 = { reg };
+              GROUP src2 = { reg }; }
+    CODING { 0b0010 dst src1 src2 0bxx }
+    SYNTAX { "add" dst "," src1 "," src2 }
+    BEHAVIOR { dst = src1 + src2; }
+}
+OPERATION ldi IN pipe.EX {
+    DECLARE { GROUP dst = { reg }; LABEL imm; }
+    CODING { 0b0011 dst imm[8] }
+    SYNTAX { "ldi" dst "," imm }
+    BEHAVIOR { dst = sext(imm, 8); }
+}
+OPERATION brnz IN pipe.EX {
+    DECLARE { GROUP src = { reg }; LABEL target; }
+    CODING { 0b0100 src target[8] }
+    SYNTAX { "brnz" src "," target }
+    BEHAVIOR { IF (src != 0) { PC = target; flush(); } }
+}
+OPERATION st IN pipe.EX {
+    DECLARE { GROUP src = { reg }; LABEL addr; }
+    CODING { 0b0101 src addr[8] }
+    SYNTAX { "st" src "," addr }
+    BEHAVIOR { dmem[addr] = src; }
+}
+OPERATION halt_op IN pipe.EX {
+    CODING { 0b0110 0b00000000000 }
+    SYNTAX { "halt" }
+    BEHAVIOR { halt(); }
+}
+OPERATION nop IN pipe.EX {
+    CODING { 0b0000 0b00000000000 }
+    SYNTAX { "nop" }
+    BEHAVIOR { }
+}
+OPERATION insn {
+    DECLARE { GROUP op = { nop || ld || add || ldi || brnz || st
+                           || halt_op }; LABEL pad; }
+    CODING { pad[1] op }
+    SYNTAX { op }
+    ACTIVATION { op }
+}
+"""
+
+# Memory-heavy loop: two loads per iteration.
+_PROGRAM = """
+        .section dmem
+        .word 3, 4
+        .section pmem
+        ldi r5, 60
+        ldi r6, -1
+loop:   ld r1, 0
+        ld r2, 1
+        add r3, r1, r2
+        add r4, r4, r3
+        add r5, r5, r6
+        brnz r5, loop
+        st r4, 10
+        halt
+"""
+
+
+def _measure(wait_states, kind):
+    model = compile_source(
+        _MODEL_TEMPLATE % {"wait_states": wait_states}, "waity.lisa"
+    )
+    tools = build_toolset(model)
+    program = tools.assembler.assemble_text(_PROGRAM)
+    simulator = create_simulator(model, kind)
+    simulator.load_program(program)
+    start = time.perf_counter()
+    stats = simulator.run(max_cycles=10_000_000)
+    elapsed = time.perf_counter() - start
+    assert simulator.state.dmem[10] == 60 * 7
+    return stats.cycles, stats.cycles / elapsed
+
+
+def test_wait_states(benchmark):
+    report = ExperimentReport(
+        "E9-waitstates",
+        "memory wait states: cycle accuracy and per-level cost",
+        "wait states are stall() in the load behaviour; stalls are "
+        "control requests, so they bound static columns",
+    )
+    baseline_cycles = None
+    for wait_states in (0, 1, 3):
+        cycles, _ = _measure(wait_states, "compiled")
+        if baseline_cycles is None:
+            baseline_cycles = cycles
+        interp_cycles, interp_rate = _measure(wait_states, "interpretive")
+        _, compiled_rate = _measure(wait_states, "compiled")
+        _, static_rate = _measure(wait_states, "static")
+        assert interp_cycles == cycles  # accuracy across levels
+        report.add_row(
+            wait_states=wait_states,
+            cycles=cycles,
+            interp_cps=interp_rate,
+            compiled_cps=compiled_rate,
+            static_cps=static_rate,
+            compiled_speedup=compiled_rate / interp_rate,
+        )
+        # Cycle accuracy: two loads per iteration, each stalls fetch.
+        if wait_states:
+            assert cycles > baseline_cycles
+    report.emit()
+
+    benchmark.pedantic(
+        lambda: _measure(3, "compiled"), rounds=1, iterations=1
+    )

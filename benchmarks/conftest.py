@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+Workload sizes are chosen so the whole suite finishes in a few minutes
+while still running every table/figure of the paper's evaluation; set
+``REPRO_BENCH_SCALE=paper`` for sizes closer to the paper's (the GSM
+program then nearly fills program memory, as in the paper).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.apps import build_adpcm, build_fir, build_gsm
+
+_SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+if _SCALE == "paper":
+    FIR_ARGS = dict(taps=16, samples=64)
+    ADPCM_ARGS = dict(samples=512)
+    GSM_ARGS = dict(target_words=7168)
+else:
+    FIR_ARGS = dict(taps=16, samples=32)
+    ADPCM_ARGS = dict(samples=192)
+    GSM_ARGS = dict(target_words=3072)
+
+
+@pytest.fixture(scope="session")
+def fir_app():
+    return build_fir("c62x", **FIR_ARGS)
+
+
+@pytest.fixture(scope="session")
+def adpcm_app():
+    return build_adpcm(**ADPCM_ARGS)
+
+
+@pytest.fixture(scope="session")
+def gsm_app():
+    return build_gsm(**GSM_ARGS)
+
+
+@pytest.fixture(scope="session")
+def paper_apps(fir_app, adpcm_app, gsm_app):
+    """The paper's three benchmark applications, smallest first."""
+    return [fir_app, adpcm_app, gsm_app]

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Run the ADPCM codec benchmark on the c62x and inspect the signal.
+
+The encoder/decoder pair runs entirely on the simulated VLIW DSP (in
+branch-free C6x style); the host only prepares the input and checks the
+output against the independent golden Python codec.
+"""
+
+from repro import build_toolset, load_model
+from repro.apps import build_adpcm
+from repro.apps.adpcm import CODE_BASE, DEC_BASE, IN_BASE
+
+SAMPLES = 96
+
+
+def main():
+    app = build_adpcm(samples=SAMPLES)
+    model = load_model("c62x")
+    tools = build_toolset(model)
+    program = app.assemble(tools)
+    print("%s\n%d program words\n" % (app.description,
+                                      program.word_count("pmem")))
+
+    simulator = tools.new_simulator("unfolded")
+    simulator.load_program(program)
+    stats = simulator.run()
+    app.verify(simulator.state)
+
+    dmem = simulator.state.dmem
+    pcm = dmem[IN_BASE : IN_BASE + SAMPLES]
+    codes = dmem[CODE_BASE : CODE_BASE + SAMPLES]
+    decoded = dmem[DEC_BASE : DEC_BASE + SAMPLES]
+
+    print("sample   pcm     code   decoded   error")
+    for i in range(0, SAMPLES, 12):
+        error = decoded[i] - pcm[i]
+        print("%6d %7d %6d %9d %7d" % (i, pcm[i], codes[i], decoded[i],
+                                       error))
+
+    errors = [abs(d - p) for d, p in zip(decoded, pcm)]
+    print(
+        "\n%d cycles, %.2f cycles/sample; 4-bit codes, mean |error| "
+        "%.0f (16-bit PCM)"
+        % (stats.cycles, stats.cycles / SAMPLES,
+           sum(errors) / len(errors))
+    )
+    print("decoder output matches the golden model bit-for-bit")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""HW/SW co-simulation: a DSP between two hardware stream ports.
+
+The paper's conclusion names HW/SW co-simulation as future work; this
+example runs it: a tinydsp program busy-waits on an input ring buffer
+fed by a hardware source (one sample every 8 cycles, like a slow ADC),
+scales each sample, and pushes it into an output ring drained by a
+hardware sink.  Software and hardware advance in cycle lockstep, and
+the software side runs on the *compiled* simulator.
+"""
+
+from repro import build_toolset, load_model
+from repro.cosim import CoSimulation, RingBuffer, StreamSink, StreamSource
+
+PROGRAM = """
+        .entry start
+        .equ INB, 0
+        .equ INHEAD, 16
+        .equ INTAIL, 17
+        .equ OUTB, 32
+        .equ OUTHEAD, 48
+        .equ OUTTAIL, 49
+        .equ COUNT, 16
+
+start:  ldi r0, 1
+        ldi r6, 7
+        ldi r5, COUNT
+main:
+win:    ld r1, INHEAD
+        ld r2, INTAIL
+        sub r1, r1, r2
+        brnz r1, got
+        br win
+got:    ldi r3, INB
+        add r3, r3, r2
+        ld r3, *3
+        add r3, r3, r3      ; gain of 2
+        add r2, r2, r0
+        and r2, r2, r6
+        st r2, INTAIL
+wout:   ld r1, OUTHEAD
+        add r1, r1, r0
+        and r1, r1, r6
+        ld r2, OUTTAIL
+        sub r4, r1, r2
+        brnz r4, space
+        br wout
+space:  ld r2, OUTHEAD
+        ldi r4, OUTB
+        add r4, r4, r2
+        st r3, *4
+        add r2, r2, r0
+        and r2, r2, r6
+        st r2, OUTHEAD
+        sub r5, r5, r0
+        brnz r5, main
+        halt
+"""
+
+SAMPLES = [5, -3, 12, 7, -9, 4, 0, 8, 15, -2, 6, 1, -7, 3, 9, -5]
+
+
+class SlowSource(StreamSource):
+    """Delivers one sample every ``period`` cycles (ADC-like)."""
+
+    def __init__(self, state, ring, samples, period=8, **kwargs):
+        super().__init__(state, ring, samples, **kwargs)
+        self._period = period
+        self._tick = 0
+
+    def step(self):
+        self._tick += 1
+        if self._tick % self._period == 0:
+            super().step()
+
+
+def main():
+    model = load_model("tinydsp")
+    tools = build_toolset(model)
+    simulator = tools.new_simulator("compiled")
+    simulator.load_program(tools.assembler.assemble_text(PROGRAM))
+
+    cosim = CoSimulation()
+    dsp = cosim.add_processor(simulator, "dsp")
+    in_ring = RingBuffer("dmem", base=0, length=8, head=16, tail=17)
+    out_ring = RingBuffer("dmem", base=32, length=8, head=48, tail=49)
+    source = cosim.add(
+        SlowSource(simulator.state, in_ring, SAMPLES, period=8)
+    )
+    sink = cosim.add(
+        StreamSink(simulator.state, out_ring, expect=len(SAMPLES))
+    )
+
+    cycles = cosim.run(max_cycles=1_000_000)
+
+    print("co-simulation finished after %d cycles" % cycles)
+    print("  source delivered : %d samples (1 per 8 cycles)"
+          % source.delivered)
+    print("  dsp retired      : %d instructions"
+          % dsp.simulator.stats.instructions)
+    print("  sink received    : %s" % sink.received)
+    assert sink.received == [2 * s for s in SAMPLES]
+    print("hardware sink saw exactly 2x every input sample -- "
+          "software on the compiled simulator, hardware models in "
+          "lockstep")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Retargeting demo: describe a brand-new DSP, get its tools for free.
+
+This is the paper's core promise.  We define "riscling" -- a small
+accumulator machine that exists nowhere else -- as a LISA description
+inside this script, and without writing a single line of
+processor-specific tool code we obtain: an assembler, a disassembler,
+an interpretive simulator, and a *compiled* simulator.
+
+The model also shows the paper's non-orthogonal coding feature: the
+``wide`` bit selects 8-bit vs 16-bit memory transfers for ``ldm``/``stm``
+but selects post-increment for ``ldp`` -- one field, two meanings,
+formally captured so the simulation compiler can specialise at
+simulation-compile time.
+"""
+
+from repro import build_toolset, compile_lisa_source
+
+RISCLING = r"""
+MODEL riscling;
+
+RESOURCE {
+    PROGRAM_COUNTER uint32 PC;
+    REGISTER int32 ACC;
+    REGISTER uint16 PTR;
+    REGISTER int X[4];
+    MEMORY uint16 pmem[512];
+    MEMORY int16 dmem[128];
+    PIPELINE pipe = { FETCH; DECODE; EXEC };
+}
+
+CONFIG {
+    WORDSIZE(16);
+    PROGRAM_MEMORY(pmem);
+    ROOT(insn);
+    EXECUTE_STAGE(EXEC);
+    BRANCH_POLICY(flush);
+}
+
+OPERATION xreg {
+    DECLARE { LABEL n; }
+    CODING { n[2] }
+    SYNTAX { "x" n }
+    EXPRESSION { X[n] }
+}
+
+OPERATION li IN pipe.EXEC {
+    DECLARE { LABEL imm; }
+    CODING { 0b0001 imm[11] }
+    SYNTAX { "li" imm }
+    BEHAVIOR { ACC = sext(imm, 11); }
+}
+
+OPERATION addx IN pipe.EXEC {
+    DECLARE { GROUP src = { xreg }; }
+    CODING { 0b0010 src 0bxxxxxxxxx }
+    SYNTAX { "add" src }
+    BEHAVIOR { ACC = ACC + src; }
+}
+
+OPERATION tox IN pipe.EXEC {
+    DECLARE { GROUP dst = { xreg }; }
+    CODING { 0b0011 dst 0bxxxxxxxxx }
+    SYNTAX { "to" dst }
+    BEHAVIOR { dst = ACC; }
+}
+
+OPERATION setp IN pipe.EXEC {
+    DECLARE { LABEL addr; }
+    CODING { 0b0100 addr[11] }
+    SYNTAX { "setp" addr }
+    BEHAVIOR { PTR = addr; }
+}
+
+OPERATION ldm IN pipe.EXEC {
+    /* The 'wide' bit (root field) selects the transfer width here... */
+    DECLARE { REFERENCE wide; }
+    CODING { 0b0101 0b00000000000 }
+    IF (wide == 0) {
+        SYNTAX { "ldb" }
+        BEHAVIOR { ACC = sext(dmem[zext(PTR, 7)] & 0xff, 8); }
+    } ELSE {
+        SYNTAX { "ldw" }
+        BEHAVIOR { ACC = dmem[zext(PTR, 7)]; }
+    }
+}
+
+OPERATION ldp IN pipe.EXEC {
+    /* ...and post-increment here: one coding field, two meanings. */
+    DECLARE { REFERENCE wide; }
+    CODING { 0b0110 0b00000000000 }
+    IF (wide == 0) {
+        SYNTAX { "ldp" }
+        BEHAVIOR { ACC = dmem[zext(PTR, 7)]; }
+    } ELSE {
+        SYNTAX { "ldp" "+" }
+        BEHAVIOR {
+            ACC = dmem[zext(PTR, 7)];
+            PTR = PTR + 1;
+        }
+    }
+}
+
+OPERATION stm IN pipe.EXEC {
+    CODING { 0b0111 0b00000000000 }
+    SYNTAX { "stm" }
+    BEHAVIOR {
+        dmem[zext(PTR, 7)] = ACC;
+        PTR = PTR + 1;
+    }
+}
+
+OPERATION djnz IN pipe.EXEC {
+    DECLARE { GROUP ctr = { xreg }; LABEL target; }
+    CODING { 0b1000 ctr target[9] }
+    SYNTAX { "djnz" ctr "," target }
+    BEHAVIOR {
+        ctr = ctr - 1;
+        IF (ctr != 0) {
+            PC = target;
+            flush();
+        }
+    }
+}
+
+OPERATION halt_op IN pipe.EXEC {
+    CODING { 0b1111 0b00000000000 }
+    SYNTAX { "halt" }
+    BEHAVIOR { halt(); }
+}
+
+OPERATION insn {
+    DECLARE {
+        GROUP op = { li || addx || tox || setp || ldm || ldp || stm
+                     || djnz || halt_op };
+        LABEL wide;
+    }
+    CODING { wide[1] op }
+    SYNTAX { op }
+    ACTIVATION { op }
+}
+"""
+
+DEMO = """
+        ; write 5 squares-by-addition into dmem[0..4]
+        .entry start
+start:  li 3
+        to x1          ; outer counter... actually the value step
+        li 5
+        to x2          ; loop counter
+        li 0
+        setp 0
+loop:   add x1         ; ACC += 3
+        stm            ; store, PTR++
+        djnz x2, loop
+        halt
+"""
+
+
+def main():
+    # One call: machine description in, model data base out.
+    model = compile_lisa_source(RISCLING, "riscling.lisa")
+    print(model.describe())
+    print()
+
+    tools = build_toolset(model)
+    program = tools.assembler.assemble_text(DEMO, name="riscling-demo")
+
+    print("generated disassembler output:")
+    for line in tools.disassembler.disassemble_program(program):
+        print("   ", line)
+    print()
+
+    # The non-orthogonal bit in action: same opcode, two mnemonics.
+    for text in ("ldb", "ldw", "ldp", "ldp+"):
+        word = tools.assembler.assemble_text(text).segments[0].words[0]
+        print(
+            "%-4s assembles to 0x%04x and disassembles back to %r"
+            % (text, word, tools.disassembler.disassemble_word(word))
+        )
+    print()
+
+    simulator = tools.new_simulator("compiled")
+    simulator.load_program(program)
+    stats = simulator.run()
+    print(
+        "ran %d cycles; dmem[0:5] = %s"
+        % (stats.cycles, simulator.state.dmem[0:5])
+    )
+    assert simulator.state.dmem[0:5] == [3, 6, 9, 12, 15]
+    print("retargeting worked: a compiled simulator for a DSP that did "
+          "not exist ten seconds ago")
+
+
+if __name__ == "__main__":
+    main()

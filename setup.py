@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on offline environments without the ``wheel``
+package (pip falls back to ``setup.py develop`` when no build-system
+table is declared).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro -- retargetable compiled simulation for DSPs.
+
+Reproduction of "Retargeting of Compiled Simulators for Digital Signal
+Processors Using a Machine Description Language" (Pees, Hoffmann, Meyr,
+DATE 2000).
+
+The package implements the paper's complete tool flow:
+
+* a LISA-style machine description language front-end (:mod:`repro.lisa`),
+* a behaviour-language compiler (:mod:`repro.behavior`),
+* instruction-coding machinery with decode-tree generation
+  (:mod:`repro.coding`),
+* a cycle-accurate pipeline substrate (:mod:`repro.machine`),
+* interpretive and compiled simulators (:mod:`repro.sim`),
+* the simulation-compiler generator (:mod:`repro.simcc`),
+* generated assembler / disassembler / loader (:mod:`repro.tools`),
+* processor models and DSP applications (:mod:`repro.models`,
+  :mod:`repro.apps`).
+
+Quickstart::
+
+    from repro import load_model, build_toolset
+
+    model = load_model("tinydsp")
+    tools = build_toolset(model)
+    program = tools.assembler.assemble_text('''
+        start:  ldi r1, 5
+                ldi r2, 7
+                add r3, r1, r2
+                halt
+    ''')
+    sim = tools.new_simulator("compiled")
+    sim.load_program(program)
+    sim.run()
+    assert sim.state.read_register("R", 3) == 12
+"""
+
+from repro.api import (
+    Toolset,
+    build_toolset,
+    compile_lisa_file,
+    compile_lisa_source,
+    load_model,
+    list_models,
+)
+
+__all__ = [
+    "Toolset",
+    "build_toolset",
+    "compile_lisa_file",
+    "compile_lisa_source",
+    "load_model",
+    "list_models",
+]
+
+__version__ = "1.0.0"

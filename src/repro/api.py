@@ -1,0 +1,113 @@
+"""High-level convenience API tying the tool flow together.
+
+This is the entry point a downstream user sees: compile a LISA model,
+get a generated toolset (assembler, disassembler, simulation compiler,
+simulators), and run programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.lisa.semantics import compile_source
+from repro.support.errors import ReproError
+
+
+def compile_lisa_source(source, filename="<string>"):
+    """Compile LISA source text into a machine-model data base."""
+    return compile_source(source, filename)
+
+
+def compile_lisa_file(path):
+    """Compile a LISA description file into a machine-model data base."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return compile_source(source, str(path))
+
+
+def list_models():
+    """Names of the processor models shipped with the package."""
+    from repro.models import MODEL_REGISTRY
+
+    return sorted(MODEL_REGISTRY)
+
+
+def load_model(name):
+    """Load (and cache) one of the shipped processor models by name."""
+    from repro.models import load_model as _load
+
+    return _load(name)
+
+
+@dataclass
+class Toolset:
+    """The generated tool suite for one machine model.
+
+    Mirrors the paper's Figure 5: from the model data base we generate
+    the assembler/disassembler, the instruction decoder, and the
+    processor-specific simulation compiler; simulators are built on
+    demand via :meth:`new_simulator`.
+    """
+
+    model: object
+    _cache: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def decoder(self):
+        if "decoder" not in self._cache:
+            from repro.coding.decoder import InstructionDecoder
+
+            self._cache["decoder"] = InstructionDecoder(self.model)
+        return self._cache["decoder"]
+
+    @property
+    def encoder(self):
+        if "encoder" not in self._cache:
+            from repro.coding.encoder import InstructionEncoder
+
+            self._cache["encoder"] = InstructionEncoder(self.model)
+        return self._cache["encoder"]
+
+    @property
+    def assembler(self):
+        if "assembler" not in self._cache:
+            from repro.tools.asm import Assembler
+
+            self._cache["assembler"] = Assembler(self.model)
+        return self._cache["assembler"]
+
+    @property
+    def disassembler(self):
+        if "disassembler" not in self._cache:
+            from repro.tools.disasm import Disassembler
+
+            self._cache["disassembler"] = Disassembler(self.model)
+        return self._cache["disassembler"]
+
+    @property
+    def simulation_compiler(self):
+        if "simcc" not in self._cache:
+            from repro.simcc.generator import generate_simulation_compiler
+
+            self._cache["simcc"] = generate_simulation_compiler(self.model)
+        return self._cache["simcc"]
+
+    def new_simulator(self, kind="compiled"):
+        """Create a fresh simulator.
+
+        ``kind`` is one of ``interpretive``, ``predecoded`` (compiled
+        level 1), ``compiled`` (level 2, dynamic scheduling), ``static``
+        (level 2, static scheduling) or ``unfolded`` (level 3, operation
+        instantiation).
+        """
+        from repro.sim import create_simulator
+
+        return create_simulator(self.model, kind)
+
+
+def build_toolset(model):
+    """Build the generated tool suite for ``model``."""
+    if model is None:
+        raise ReproError("build_toolset needs a compiled machine model")
+    return Toolset(model)

@@ -1,0 +1,33 @@
+"""Benchmark applications: the paper's three DSP workloads.
+
+The paper evaluates on a FIR filter, the ADPCM G.721 codec and the GSM
+full-rate speech encoder.  Here (see DESIGN.md, "Substitutions"):
+
+* :mod:`repro.apps.fir` -- a real FIR filter in target assembly for all
+  three shipped models,
+* :mod:`repro.apps.adpcm` -- an IMA/DVI-style ADPCM encoder+decoder
+  (branch-free, VLIW-friendly) for the c62x,
+* :mod:`repro.apps.gsm` -- the dominant GSM 06.10 kernels (windowing +
+  autocorrelation + LTP lag search), scaled with unrolled sections until
+  the program nearly fills program memory,
+* :mod:`repro.apps.generator` -- a deterministic synthetic program
+  generator with a self-checking checksum (size / branch-density sweeps).
+
+Every application carries expected memory contents computed by a golden
+pure-Python model (:mod:`repro.apps.golden`); ``verify(state)`` is the
+paper's accuracy check.
+"""
+
+from repro.apps.base import Application
+from repro.apps.fir import build_fir
+from repro.apps.adpcm import build_adpcm
+from repro.apps.gsm import build_gsm
+from repro.apps.generator import build_synthetic
+
+__all__ = [
+    "Application",
+    "build_fir",
+    "build_adpcm",
+    "build_gsm",
+    "build_synthetic",
+]

@@ -1,0 +1,74 @@
+"""Common application container and helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.support.errors import ReproError
+
+
+def lcg(seed):
+    """A tiny deterministic pseudo-random generator (31-bit LCG).
+
+    Used instead of :mod:`random` so that generated programs and their
+    golden results are reproducible byte-for-byte across Python versions.
+    """
+    state = (seed & 0x7FFFFFFF) or 1
+
+    def next_value():
+        nonlocal state
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        return state
+
+    return next_value
+
+
+def lcg_samples(seed, count, amplitude):
+    """``count`` deterministic samples in [-amplitude, amplitude]."""
+    rng = lcg(seed)
+    return [(rng() % (2 * amplitude + 1)) - amplitude for _ in range(count)]
+
+
+@dataclass
+class Application:
+    """A target application plus its golden expectations.
+
+    ``expected`` maps memory resource names to {address: value} dicts;
+    :meth:`verify` compares them against a post-run processor state --
+    the paper's "without any loss in accuracy" check, grounded in an
+    independent pure-Python implementation.
+    """
+
+    name: str
+    model_name: str
+    source: str
+    expected: Dict[str, Dict[int, int]] = field(default_factory=dict)
+    description: str = ""
+    max_cycles: int = 200_000_000
+
+    def expect(self, memory, base, values):
+        slot = self.expected.setdefault(memory, {})
+        for offset, value in enumerate(values):
+            slot[base + offset] = value
+
+    def verify(self, state):
+        """Raise ReproError on any mismatch against the golden results."""
+        mismatches = []
+        for memory, cells in self.expected.items():
+            for address, expected_value in cells.items():
+                actual = state.read_memory(memory, address)
+                if actual != expected_value:
+                    mismatches.append(
+                        "%s[%d] = %d, expected %d"
+                        % (memory, address, actual, expected_value)
+                    )
+        if mismatches:
+            raise ReproError(
+                "application %r failed verification:\n  %s"
+                % (self.name, "\n  ".join(mismatches[:20]))
+            )
+        return True
+
+    def assemble(self, toolset):
+        return toolset.assembler.assemble_text(self.source, name=self.name)

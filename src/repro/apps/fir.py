@@ -1,0 +1,217 @@
+"""FIR filter in target assembly for every shipped model.
+
+The first of the paper's three benchmark applications.  The same
+filtering problem (identical samples, taps, and golden output) is
+generated for the c62x (VLIW with exposed delay slots), the c54x
+(accumulator/MAC style) and the tinydsp (three-address RISC style), so
+the retargeting experiment (E7) compares like with like.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application, lcg_samples
+from repro.apps.golden import fir_reference
+from repro.support.errors import ReproError
+
+
+def _word_lines(values, per_line=8):
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = values[start : start + per_line]
+        lines.append("        .word " + ", ".join(str(v) for v in chunk))
+    return "\n".join(lines)
+
+
+def build_fir(model_name="c62x", taps=16, samples=64, seed=11,
+              amplitude=None):
+    """Build a FIR application for ``model_name``.
+
+    ``amplitude`` bounds sample/coefficient magnitude; defaults keep the
+    accumulator inside 16 bits on the c54x (whose store writes the low
+    accumulator half) and inside 32 bits elsewhere.
+    """
+    if amplitude is None:
+        amplitude = 30 if model_name == "c54x" else 1000
+    x = lcg_samples(seed, samples, amplitude)
+    h = lcg_samples(seed + 1, taps, amplitude)
+    y = fir_reference(x, h)
+    if model_name == "c62x":
+        app = _fir_c62x(x, h, taps, samples)
+    elif model_name == "c54x":
+        app = _fir_c54x(x, h, taps, samples)
+    elif model_name == "tinydsp":
+        app = _fir_tinydsp(x, h, taps, samples)
+    else:
+        raise ReproError("no FIR generator for model %r" % model_name)
+    app.expect(app.expected_memory, app.output_base, y)
+    app.description = (
+        "%d-tap FIR over %d samples (amplitude %d)"
+        % (taps, samples, amplitude)
+    )
+    return app
+
+
+def _fir_c62x(x, h, taps, samples):
+    """VLIW FIR: explicit delay-slot scheduling, one memory op/packet."""
+    x_base = 0
+    h_base = 4096
+    y_base = 6000
+    padded = [0] * (taps - 1) + x
+    source = """
+        .entry start
+        .section dmem
+%(x_words)s
+        .org %(h_base)d
+%(h_words)s
+        .section pmem
+start:  mvk a3, %(x_start)d    ; x read start for n = 0 (walks down)
+     || mvk b3, %(y_base)d     ; output pointer
+        mvk b1, %(samples)d    ; outer count
+outer:  mv a4, a3
+     || mvk b4, %(h_base)d
+        mvk a1, %(taps)d
+     || mvk a7, 0
+inner:  ldw a5, a4, 0          ; x[n-k]   -- 4 delay slots
+        ldw b5, b4, 0          ; h[k]
+     || addk a4, -1
+        addk b4, 1
+        nop
+        nop
+        mpy a6, a5, b5         ; -- 1 delay slot
+        nop
+        add a7, a7, a6
+        addk a1, -1
+        bnz a1, inner          ; -- 5 delay slots
+        nop
+        nop
+        nop
+        nop
+        nop
+        stw a7, b3, 0
+        addk b3, 1
+     || addk a3, 1
+        addk b1, -1
+        bnz b1, outer
+        nop
+        nop
+        nop
+        nop
+        nop
+        halt
+""" % {
+        "x_words": _word_lines(padded),
+        "h_words": _word_lines(h),
+        "h_base": h_base,
+        "x_start": x_base + taps - 1,
+        "y_base": y_base,
+        "samples": samples,
+        "taps": taps,
+    }
+    app = Application(name="fir_c62x", model_name="c62x", source=source)
+    app.expected_memory = "dmem"
+    app.output_base = y_base
+    return app
+
+
+def _fir_c54x(x, h, taps, samples):
+    """Accumulator FIR: the LT/MAC/BANZ idiom the C54x was built for."""
+    x_base = 0
+    h_base = 160
+    y_base = 200
+    padded = [0] * (taps - 1) + x
+    if len(padded) > h_base or h_base + taps > y_base:
+        raise ReproError("c54x FIR layout overflow: shrink taps/samples")
+    if y_base + samples > 256:
+        raise ReproError(
+            "c54x FIR output exceeds the STM-addressable window"
+        )
+    source = """
+        .entry start
+        .section dmem
+%(x_words)s
+        .org %(h_base)d
+%(h_words)s
+        .section pmem
+start:  stm %(x_start)d, ar1   ; x pointer (walks down per tap)
+        stm %(h_base)d, ar2    ; h pointer
+        stm %(y_base)d, ar3    ; y pointer
+        stm %(outer)d, ar4     ; outer iterations - 1 (BANZ style)
+outer:  ld 0, a
+        stm %(inner)d, ar0     ; inner iterations - 1
+inner:  lt *ar1-
+        mac *ar2+, a
+        banz inner, ar0
+        stl a, *ar3+
+        adar ar1, %(x_step)d   ; back to start of window, plus one
+        adar ar2, -%(taps)d    ; rewind coefficients
+        banz outer, ar4
+        halt
+""" % {
+        "x_words": _word_lines(padded),
+        "h_words": _word_lines(h),
+        "h_base": h_base,
+        "x_start": x_base + taps - 1,
+        "y_base": y_base,
+        "outer": samples - 1,
+        "inner": taps - 1,
+        "taps": taps,
+        "x_step": taps + 1,
+    }
+    app = Application(name="fir_c54x", model_name="c54x", source=source)
+    app.expected_memory = "dmem"
+    app.output_base = y_base
+    return app
+
+
+def _fir_tinydsp(x, h, taps, samples):
+    """Three-address FIR with register-indirect addressing."""
+    x_base = 0
+    h_base = 128
+    y_base = 168
+    padded = [0] * (taps - 1) + x
+    if len(padded) > h_base or h_base + taps > y_base \
+            or y_base + samples > 256:
+        raise ReproError("tinydsp FIR layout overflow: shrink taps/samples")
+    source = """
+        .entry start
+        .section dmem
+%(x_words)s
+        .org %(h_base)d
+%(h_words)s
+        .section pmem
+start:  ldi r0, 1              ; permanent +1
+        ldi r6, 0              ; n
+outer:  ldi r1, %(x_start)d
+        add r1, r1, r6         ; x read start for this n
+        ldi r2, %(h_base)d
+        ldi r3, 0              ; accumulator
+        ldi r4, %(taps)d
+inner:  ld r5, *1              ; x[n-k]
+        ld r7, *2              ; h[k]
+        mul r5, r5, r7
+        add r3, r3, r5
+        sub r1, r1, r0
+        add r2, r2, r0
+        sub r4, r4, r0
+        brnz r4, inner
+        ldi r5, %(y_base)d
+        add r5, r5, r6
+        st r3, *5
+        add r6, r6, r0
+        ldi r5, %(samples)d
+        sub r5, r5, r6
+        brnz r5, outer
+        halt
+""" % {
+        "x_words": _word_lines(padded),
+        "h_words": _word_lines(h),
+        "h_base": h_base,
+        "x_start": x_base + taps - 1,
+        "y_base": y_base,
+        "samples": samples,
+        "taps": taps,
+    }
+    app = Application(name="fir_tinydsp", model_name="tinydsp", source=source)
+    app.expected_memory = "dmem"
+    app.output_base = y_base
+    return app

@@ -1,0 +1,158 @@
+"""Golden pure-Python reference models for the benchmark kernels.
+
+These are *independent* implementations of the DSP algorithms with the
+exact integer semantics of the target programs (32-bit wrapping
+accumulation, 16-bit saturation where the assembly saturates).  A
+simulator run is correct iff its memory matches these results.
+"""
+
+from __future__ import annotations
+
+
+def wrap32(value):
+    value &= 0xFFFFFFFF
+    if value >= 0x80000000:
+        value -= 0x100000000
+    return value
+
+
+def sat16(value):
+    if value > 32767:
+        return 32767
+    if value < -32768:
+        return -32768
+    return value
+
+
+def fir_reference(samples, taps):
+    """FIR with 32-bit wrapping accumulation of 16x16 products."""
+    output = []
+    for n in range(len(samples)):
+        acc = 0
+        for k, coefficient in enumerate(taps):
+            if n - k >= 0:
+                acc = wrap32(acc + samples[n - k] * coefficient)
+        output.append(acc)
+    return output
+
+
+# -- IMA/DVI-style ADPCM ------------------------------------------------------
+
+STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+
+def adpcm_encode_reference(samples):
+    """Branch-free IMA ADPCM encoder matching the target assembly.
+
+    Returns (codes, reconstructed) where ``reconstructed`` is the
+    predictor state after each sample (what a decoder would produce).
+    """
+    valpred = 0
+    index = 0
+    codes = []
+    reconstructed = []
+    for sample in samples:
+        step = STEP_TABLE[index]
+        diff = sample - valpred
+        sign = 1 if diff < 0 else 0
+        diff = abs(diff)
+
+        bit2 = 1 if diff >= step else 0
+        diff -= bit2 * step
+        step1 = step >> 1
+        bit1 = 1 if diff >= step1 else 0
+        diff -= bit1 * step1
+        step2 = step >> 2
+        bit0 = 1 if diff >= step2 else 0
+
+        code = sign * 8 + bit2 * 4 + bit1 * 2 + bit0
+        vpdiff = (step >> 3) + bit2 * step + bit1 * step1 + bit0 * step2
+        valpred = valpred + vpdiff - 2 * sign * vpdiff
+        valpred = sat16(valpred)
+
+        index = index + INDEX_TABLE[code]
+        if index < 0:
+            index = 0
+        if index > 88:
+            index = 88
+
+        codes.append(code)
+        reconstructed.append(valpred)
+    return codes, reconstructed
+
+
+def adpcm_decode_reference(codes):
+    """IMA ADPCM decoder matching the encoder's predictor arithmetic."""
+    valpred = 0
+    index = 0
+    output = []
+    for code in codes:
+        step = STEP_TABLE[index]
+        sign = (code >> 3) & 1
+        bit2 = (code >> 2) & 1
+        bit1 = (code >> 1) & 1
+        bit0 = code & 1
+        vpdiff = (step >> 3) + bit2 * step + bit1 * (step >> 1) \
+            + bit0 * (step >> 2)
+        valpred = valpred + vpdiff - 2 * sign * vpdiff
+        valpred = sat16(valpred)
+        index = index + INDEX_TABLE[code]
+        if index < 0:
+            index = 0
+        if index > 88:
+            index = 88
+        output.append(valpred)
+    return output
+
+
+# -- GSM-like kernels -----------------------------------------------------------
+
+
+def autocorrelation_reference(samples, max_lag):
+    """acf[k] = sum_i s[i] * s[i+k], 32-bit wrapping (GSM 06.10 step)."""
+    acf = []
+    for lag in range(max_lag + 1):
+        acc = 0
+        for i in range(len(samples) - lag):
+            acc = wrap32(acc + samples[i] * samples[i + lag])
+        acf.append(acc)
+    return acf
+
+
+def ltp_search_reference(signal, sub_start, sub_len, min_lag, max_lag):
+    """Long-term-predictor lag search: arg max of cross-correlation.
+
+    ``score(lag) = sum_j signal[sub_start+j] * signal[sub_start+j-lag]``
+    over the subframe.  Returns (best_lag, best_score); ties resolve to
+    the smallest lag (the assembly uses a strict greater-than update
+    against an INT_MIN seed).
+    """
+    best_lag = min_lag
+    best_score = -(1 << 31)
+    for lag in range(min_lag, max_lag + 1):
+        acc = 0
+        for j in range(sub_len):
+            acc = wrap32(
+                acc + signal[sub_start + j] * signal[sub_start + j - lag]
+            )
+        if acc > best_score:
+            best_score = acc
+            best_lag = lag
+    return best_lag, best_score
+
+
+def hann_window_reference(samples, q15_window):
+    """Pointwise windowing: (s[i] * w[i]) >> 15, like GSM pre-processing."""
+    return [wrap32(s * w) >> 15 for s, w in zip(samples, q15_window)]

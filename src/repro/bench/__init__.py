@@ -1,0 +1,31 @@
+"""Shared experiment harness for the benchmark suite.
+
+Each module in ``benchmarks/`` regenerates one artefact of the paper's
+evaluation (see DESIGN.md's per-experiment index); this package holds
+the measurement plumbing they share, so a benchmark file only declares
+*what* to measure.
+"""
+
+from repro.bench.harness import (
+    PAPER,
+    BenchmarkResult,
+    compilation_speed,
+    load_app_program,
+    paper_reference,
+    run_and_verify,
+    simulation_speed,
+    speedup,
+    standard_apps,
+)
+
+__all__ = [
+    "PAPER",
+    "BenchmarkResult",
+    "compilation_speed",
+    "load_app_program",
+    "paper_reference",
+    "run_and_verify",
+    "simulation_speed",
+    "speedup",
+    "standard_apps",
+]

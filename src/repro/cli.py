@@ -1,0 +1,252 @@
+"""Command-line entry points.
+
+``repro-lisa``
+    Compile and inspect LISA machine descriptions.
+``repro-asm``
+    Assemble / disassemble target programs.
+``repro-sim``
+    Run programs on any simulator kind.
+``repro-kcc``
+    Compile kernel-language source to target assembly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.api import build_toolset, compile_lisa_file, list_models, load_model
+from repro.sim import SIM_KINDS, create_simulator
+from repro.support.errors import ReproError
+from repro.tools.objfile import Program
+
+
+def _resolve_model(spec):
+    """A model name from the registry, or a path to a .lisa file."""
+    if spec in list_models():
+        return load_model(spec)
+    try:
+        return compile_lisa_file(spec)
+    except OSError as exc:
+        raise ReproError("cannot read model %r: %s" % (spec, exc)) from exc
+
+
+def lisa_main(argv=None):
+    """repro-lisa: compile a model and print its summary."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lisa",
+        description="Compile a LISA machine description into a model "
+        "data base and report on it.",
+    )
+    parser.add_argument(
+        "model",
+        help="shipped model name (%s) or path to a .lisa file"
+        % ", ".join(list_models()),
+    )
+    parser.add_argument(
+        "--emit-simulator",
+        metavar="PROGRAM",
+        help="emit a standalone compiled-simulator module for the given "
+        "assembled program (.dspo) to stdout",
+    )
+    parser.add_argument(
+        "--time", action="store_true",
+        help="report model translation time (experiment E3)",
+    )
+    parser.add_argument(
+        "--dump-db", action="store_true",
+        help="dump the model data base as JSON to stdout",
+    )
+    args = parser.parse_args(argv)
+    try:
+        start = time.perf_counter()
+        model = _resolve_model(args.model)
+        elapsed = time.perf_counter() - start
+        if args.dump_db:
+            from repro.lisa.database import model_to_json
+
+            print(model_to_json(model))
+            return 0
+        print(model.describe())
+        for diagnostic in getattr(model, "diagnostics", []):
+            print(diagnostic, file=sys.stderr)
+        if args.time:
+            print("model translation time: %.3f s" % elapsed)
+        if args.emit_simulator:
+            from repro.simcc import emit_simulator_module
+
+            program = Program.load(args.emit_simulator)
+            print(emit_simulator_module(model, program))
+    except ReproError as exc:
+        parser.exit(1, "error: %s\n" % exc)
+    return 0
+
+
+def asm_main(argv=None):
+    """repro-asm: assemble or disassemble target programs."""
+    parser = argparse.ArgumentParser(
+        prog="repro-asm",
+        description="Retargetable assembler/disassembler generated from "
+        "a machine description.",
+    )
+    parser.add_argument("model", help="model name or .lisa path")
+    parser.add_argument("source", help="assembly source file, or .dspo "
+                        "with --disassemble")
+    parser.add_argument("-o", "--output", help="object file to write "
+                        "(.dspo)")
+    parser.add_argument(
+        "-d", "--disassemble", action="store_true",
+        help="treat the input as an object file and disassemble it",
+    )
+    args = parser.parse_args(argv)
+    try:
+        model = _resolve_model(args.model)
+        tools = build_toolset(model)
+        if args.disassemble:
+            program = Program.load(args.source)
+            for line in tools.disassembler.disassemble_program(program):
+                print(line)
+            return 0
+        program = tools.assembler.assemble_file(args.source)
+        print(
+            "assembled %d program words, %d data words, entry 0x%x"
+            % (
+                program.word_count(model.config.program_memory),
+                program.word_count() -
+                program.word_count(model.config.program_memory),
+                program.entry,
+            )
+        )
+        if args.output:
+            program.save(args.output)
+            print("wrote %s" % args.output)
+    except ReproError as exc:
+        parser.exit(1, "error: %s\n" % exc)
+    return 0
+
+
+def sim_main(argv=None):
+    """repro-sim: run a program on a chosen simulator kind."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Run a target program on an interpretive or compiled "
+        "simulator.",
+    )
+    parser.add_argument("model", help="model name or .lisa path")
+    parser.add_argument("program", help="object file (.dspo) or assembly "
+                        "source (.asm/.s)")
+    parser.add_argument(
+        "-k", "--kind", default="compiled", choices=SIM_KINDS,
+        help="simulator kind (default: compiled)",
+    )
+    parser.add_argument(
+        "--max-cycles", type=int, default=50_000_000,
+        help="abort after this many cycles",
+    )
+    parser.add_argument(
+        "--dump", action="append", default=[], metavar="MEM:ADDR[:LEN]",
+        help="print memory cells after the run (repeatable)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print timing statistics",
+    )
+    args = parser.parse_args(argv)
+    try:
+        model = _resolve_model(args.model)
+        if args.program.endswith((".asm", ".s")):
+            program = build_toolset(model).assembler.assemble_file(
+                args.program
+            )
+        else:
+            program = Program.load(args.program)
+        simulator = create_simulator(model, args.kind)
+        load_start = time.perf_counter()
+        simulator.load_program(program)
+        load_time = time.perf_counter() - load_start
+        run_start = time.perf_counter()
+        stats = simulator.run(args.max_cycles)
+        run_time = time.perf_counter() - run_start
+        print(
+            "halted after %d cycles, %d instructions (CPI %.2f)"
+            % (stats.cycles, stats.instructions, stats.cpi)
+        )
+        if args.stats:
+            print(
+                "load: %.3f s   run: %.3f s   %.0f cycles/s"
+                % (load_time, run_time,
+                   stats.cycles / run_time if run_time else float("inf"))
+            )
+        for dump in args.dump:
+            _dump_memory(simulator.state, dump)
+    except ReproError as exc:
+        parser.exit(1, "error: %s\n" % exc)
+    return 0
+
+
+def kcc_main(argv=None):
+    """repro-kcc: compile a kernel to target assembly (optionally run)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-kcc",
+        description="Compile C-like kernel source to DSP assembly.",
+    )
+    parser.add_argument("target", help="target model (tinydsp or c62x)")
+    parser.add_argument("source", help="kernel source file (.k)")
+    parser.add_argument("-o", "--output", help="assembly file to write")
+    parser.add_argument(
+        "--run", action="store_true",
+        help="assemble and run the kernel on the compiled simulator",
+    )
+    parser.add_argument(
+        "--dump", action="append", default=[], metavar="MEM:ADDR[:LEN]",
+        help="with --run: print memory cells afterwards (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        from repro.kcc import compile_kernel
+
+        with open(args.source, "r", encoding="utf-8") as handle:
+            kernel_source = handle.read()
+        assembly = compile_kernel(kernel_source, args.target)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(assembly)
+            print("wrote %s" % args.output)
+        elif not args.run:
+            print(assembly, end="")
+        if args.run:
+            model = _resolve_model(args.target)
+            tools = build_toolset(model)
+            program = tools.assembler.assemble_text(assembly)
+            simulator = create_simulator(model, "compiled")
+            simulator.load_program(program)
+            stats = simulator.run()
+            print(
+                "halted after %d cycles, %d instructions"
+                % (stats.cycles, stats.instructions)
+            )
+            for dump in args.dump:
+                _dump_memory(simulator.state, dump)
+    except OSError as exc:
+        parser.exit(1, "error: %s\n" % exc)
+    except ReproError as exc:
+        parser.exit(1, "error: %s\n" % exc)
+    return 0
+
+
+def _dump_memory(state, spec):
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise ReproError("--dump expects MEM:ADDR[:LEN], got %r" % spec)
+    memory = parts[0]
+    address = int(parts[1], 0)
+    length = int(parts[2], 0) if len(parts) == 3 else 1
+    values = [
+        state.read_memory(memory, address + offset)
+        for offset in range(length)
+    ]
+    print("%s[%d:%d] = %s" % (memory, address, address + length, values))
+
+
+if __name__ == "__main__":
+    sys.exit(sim_main())

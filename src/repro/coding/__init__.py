@@ -1,0 +1,20 @@
+"""Instruction-coding machinery: field layout, decoding, encoding.
+
+Decoding is the first of the paper's compiled-simulation steps: the
+simulation compiler runs :class:`InstructionDecoder` once per program
+instruction at simulation-compile time, while the interpretive simulator
+runs the very same decoder on every fetch.
+"""
+
+from repro.coding.layout import CodingLayout, layout_of
+from repro.coding.decoder import DecodedNode, InstructionDecoder
+from repro.coding.encoder import InstructionEncoder, OperandSpec
+
+__all__ = [
+    "CodingLayout",
+    "layout_of",
+    "DecodedNode",
+    "InstructionDecoder",
+    "InstructionEncoder",
+    "OperandSpec",
+]

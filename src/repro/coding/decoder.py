@@ -1,0 +1,152 @@
+"""Instruction decoding: word -> operation-instance tree.
+
+The decoder is deliberately the *same* code for the interpretive
+simulator (which calls it every fetch) and the simulation compiler
+(which calls it once per program location).  The compiled-simulation
+speed-up thus measures exactly what the paper measures: moving this
+work from run-time to compile-time, not a different decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.coding.layout import layout_of
+from repro.lisa import model as m
+from repro.support.bitutils import extract_field
+from repro.support.errors import DecodeError, LisaSemanticError
+
+
+@dataclass
+class DecodedNode:
+    """One node of a decoded operation-instance tree.
+
+    ``fields`` holds LABEL values extracted from the word; ``children``
+    maps GROUP/INSTANCE slot names to the decoded sub-operations.
+    """
+
+    operation: m.Operation
+    parent: Optional["DecodedNode"] = None
+    slot_name: Optional[str] = None
+    fields: Dict[str, int] = field(default_factory=dict)
+    children: Dict[str, "DecodedNode"] = field(default_factory=dict)
+
+    def lookup(self, name):
+        """Resolve an operand name on this node or, for REFERENCEs, on an
+        ancestor.  Returns ("label", int) or ("child", DecodedNode)."""
+        node = self
+        first = True
+        while node is not None:
+            if name in node.fields:
+                return ("label", node.fields[name])
+            if name in node.children:
+                return ("child", node.children[name])
+            if first and name not in self.operation.references:
+                break
+            node = node.parent
+            first = False
+        raise LisaSemanticError(
+            "operation %r: cannot resolve operand %r"
+            % (self.operation.name, name)
+        )
+
+    def condition_env(self, model):
+        """Decode-time environment for IF/SWITCH guard evaluation.
+
+        Labels map to their integer field value; groups/instances map to
+        the *name* of the selected operation, so guards can compare a
+        group against a symbolic operation name.  REFERENCEd names are
+        resolved through the ancestors.
+        """
+        env = dict(self.fields)
+        for slot, child in self.children.items():
+            env[slot] = child.operation.name
+        for ref in self.operation.references:
+            kind, value = self.lookup(ref)
+            env[ref] = value if kind == "label" else value.operation.name
+        return env
+
+    def variant(self, model):
+        """Resolve this node's decode-time section variant."""
+        return self.operation.resolve_variant(self.condition_env(model), model)
+
+    def walk(self):
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+    def describe(self):
+        """Compact single-line description, e.g. for traces."""
+        parts = [self.operation.name]
+        for name, value in self.fields.items():
+            parts.append("%s=%d" % (name, value))
+        for slot, child in self.children.items():
+            parts.append("%s=(%s)" % (slot, child.describe()))
+        return " ".join(parts)
+
+
+class InstructionDecoder:
+    """Decodes instruction words against a machine model's coding tree."""
+
+    def __init__(self, model):
+        self._model = model
+        self._root = model.root_operation
+        self._word_size = model.word_size
+
+    @property
+    def model(self):
+        return self._model
+
+    def decode(self, word, address=None):
+        """Decode one instruction word into a :class:`DecodedNode` tree."""
+        if word < 0 or word >> self._word_size:
+            raise DecodeError(
+                "word does not fit in %d bits" % self._word_size,
+                word=word,
+                address=address,
+            )
+        node = self._try_decode(self._root, word, 0, self._word_size, None, None)
+        if node is None:
+            raise DecodeError(
+                "no operation coding matches", word=word, address=address
+            )
+        return node
+
+    def _try_decode(self, op, word, offset, word_size, parent, slot_name):
+        """Attempt to decode ``op`` at MSB-relative ``offset``.
+
+        Returns a DecodedNode or None when a literal pattern mismatches.
+        """
+        layout = layout_of(op)
+        node = DecodedNode(operation=op, parent=parent, slot_name=slot_name)
+        for placed in layout.placed:
+            element = placed.element
+            bits = extract_field(
+                word, offset + placed.offset, placed.width, word_size
+            )
+            if isinstance(element, m.CodingPattern):
+                if not element.pattern.matches(bits):
+                    return None
+            elif isinstance(element, m.CodingLabel):
+                node.fields[element.name] = bits
+            else:  # CodingGroup
+                alternatives = op.child_slots()[element.name]
+                child = None
+                for alt_name in alternatives:
+                    alt = self._model.operations[alt_name]
+                    child = self._try_decode(
+                        alt,
+                        word,
+                        offset + placed.offset,
+                        word_size,
+                        node,
+                        element.name,
+                    )
+                    if child is not None:
+                        break
+                if child is None:
+                    return None
+                node.children[element.name] = child
+        return node

@@ -1,0 +1,134 @@
+"""Instruction encoding: operation-instance spec -> instruction word.
+
+The encoder is the assembler's back half: after syntax matching has
+selected operations and operand values, the encoder lays the bits down
+according to the CODING sections.  ``decode(encode(x)) == x`` is a core
+invariant exercised by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.coding.layout import layout_of
+from repro.lisa import model as m
+from repro.support.bitutils import insert_field, mask
+from repro.support.errors import CodingError
+
+
+@dataclass
+class OperandSpec:
+    """A nested specification of one operation instance to encode.
+
+    ``fields`` gives LABEL values; ``children`` selects and specifies
+    GROUP/INSTANCE slot contents.
+    """
+
+    operation: str
+    fields: Dict[str, int] = field(default_factory=dict)
+    children: Dict[str, "OperandSpec"] = field(default_factory=dict)
+
+
+class InstructionEncoder:
+    """Encodes :class:`OperandSpec` trees into instruction words."""
+
+    def __init__(self, model):
+        self._model = model
+        self._word_size = model.word_size
+
+    def encode(self, spec):
+        """Encode a full instruction word from a root-operation spec."""
+        root = self._model.operations[spec.operation]
+        if root.coding_width != self._word_size:
+            raise CodingError(
+                "operation %r codes %s bits, not a full %d-bit word"
+                % (spec.operation, root.coding_width, self._word_size)
+            )
+        return self._encode_op(spec, 0, self._word_size, 0)
+
+    def encode_partial(self, spec):
+        """Encode a sub-operation on its own; returns (value, width)."""
+        op = self._model.operations[spec.operation]
+        width = op.coding_width
+        return self._encode_op(spec, 0, width, 0), width
+
+    def _encode_op(self, spec, offset, word_size, word):
+        op = self._model.operations[spec.operation]
+        layout = layout_of(op)
+        used_fields = set()
+        used_children = set()
+        for placed in layout.placed:
+            element = placed.element
+            if isinstance(element, m.CodingPattern):
+                if not element.pattern.is_fully_specified:
+                    # Don't-care bits are encoded as zero; the decoder
+                    # accepts any value there, so round-trip still holds.
+                    pass
+                word = insert_field(
+                    word,
+                    element.pattern.value,
+                    offset + placed.offset,
+                    placed.width,
+                    word_size,
+                )
+            elif isinstance(element, m.CodingLabel):
+                if element.name not in spec.fields:
+                    raise CodingError(
+                        "encoding %r: missing field %r"
+                        % (op.name, element.name)
+                    )
+                value = spec.fields[element.name]
+                if value < 0 or value > mask(element.width):
+                    raise CodingError(
+                        "encoding %r: field %r value %d does not fit in "
+                        "%d bits"
+                        % (op.name, element.name, value, element.width)
+                    )
+                used_fields.add(element.name)
+                word = insert_field(
+                    word, value, offset + placed.offset, placed.width,
+                    word_size,
+                )
+            else:  # CodingGroup
+                child_spec = spec.children.get(element.name)
+                if child_spec is None:
+                    raise CodingError(
+                        "encoding %r: missing sub-operation for slot %r"
+                        % (op.name, element.name)
+                    )
+                alternatives = op.child_slots()[element.name]
+                if child_spec.operation not in alternatives:
+                    raise CodingError(
+                        "encoding %r: %r is not an alternative of slot %r"
+                        % (op.name, child_spec.operation, element.name)
+                    )
+                used_children.add(element.name)
+                word = self._encode_op(
+                    child_spec, offset + placed.offset, word_size, word
+                )
+        extra_fields = set(spec.fields) - used_fields
+        if extra_fields:
+            raise CodingError(
+                "encoding %r: fields %s are not part of the coding"
+                % (op.name, ", ".join(sorted(extra_fields)))
+            )
+        extra_children = set(spec.children) - used_children
+        if extra_children:
+            raise CodingError(
+                "encoding %r: slots %s are not part of the coding"
+                % (op.name, ", ".join(sorted(extra_children)))
+            )
+        return word
+
+    def spec_from_decoded(self, node):
+        """Rebuild an :class:`OperandSpec` from a decoded tree (for
+        re-encoding round-trips)."""
+        return OperandSpec(
+            operation=node.operation.name,
+            fields=dict(node.fields),
+            children={
+                slot: self.spec_from_decoded(child)
+                for slot, child in node.children.items()
+            },
+        )

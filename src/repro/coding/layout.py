@@ -1,0 +1,80 @@
+"""Bit-field layout of operation codings.
+
+A CODING section is an MSB-first sequence of elements; the layout
+assigns each element its bit offset (from the MSB of the operation's
+coding span) so that decoder, encoder, assembler and disassembler all
+agree on field positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.lisa import model as m
+from repro.support.errors import CodingError
+
+
+@dataclass(frozen=True)
+class PlacedElement:
+    """One coding element with its resolved MSB-relative offset."""
+
+    element: object  # CodingPattern | CodingLabel | CodingGroup
+    offset: int
+    width: int
+
+
+@dataclass(frozen=True)
+class CodingLayout:
+    """The placed elements of one operation's coding."""
+
+    operation: str
+    width: int
+    placed: Tuple[PlacedElement, ...]
+
+    def find(self, name):
+        """The placed element for the label/group called ``name``."""
+        for placed in self.placed:
+            element = placed.element
+            if isinstance(element, (m.CodingLabel, m.CodingGroup)) \
+                    and element.name == name:
+                return placed
+        raise CodingError(
+            "coding of %r has no element %r" % (self.operation, name)
+        )
+
+
+def layout_of(operation):
+    """Compute (and cache on the operation) the coding layout."""
+    cached = getattr(operation, "_layout_cache", None)
+    if cached is not None:
+        return cached
+    if not operation.has_coding:
+        raise CodingError(
+            "operation %r has no CODING section" % operation.name
+        )
+    placed = []
+    offset = 0
+    for element in operation.coding:
+        if isinstance(element, m.CodingPattern):
+            width = element.width
+        elif isinstance(element, m.CodingLabel):
+            width = element.width
+        elif isinstance(element, m.CodingGroup):
+            width = element.width
+            if width <= 0:
+                raise CodingError(
+                    "unresolved group width for %r in coding of %r"
+                    % (element.name, operation.name)
+                )
+        else:
+            raise CodingError(
+                "unknown coding element %r in %r" % (element, operation.name)
+            )
+        placed.append(PlacedElement(element, offset, width))
+        offset += width
+    layout = CodingLayout(
+        operation=operation.name, width=offset, placed=tuple(placed)
+    )
+    operation._layout_cache = layout
+    return layout

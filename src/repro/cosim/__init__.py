@@ -1,0 +1,38 @@
+"""Cycle-lockstep HW/SW co-simulation.
+
+The paper's conclusion names "the integration of software simulators
+into HW/SW co-simulation environments" as future work; this package
+provides that integration for every simulator level.
+
+A :class:`repro.cosim.kernel.CoSimulation` advances a set of clocked
+components one cycle at a time: any number of processor simulators
+(interpretive or compiled -- the coupling is level-agnostic) plus
+hardware models.  Hardware talks to software the way real memory-mapped
+devices do: through cells of the processor's data memory (mailboxes,
+ring buffers, doorbells), which the shipped peripherals poll and update
+once per cycle.
+
+Because peripherals are deterministic functions of the cycle number and
+the shared memory, a co-simulation behaves bit-identically no matter
+which simulation level runs the software -- extending the paper's
+accuracy claim across the HW/SW boundary (tested in
+``tests/test_cosim.py``).
+"""
+
+from repro.cosim.kernel import Component, CoSimulation, ProcessorComponent
+from repro.cosim.peripherals import (
+    DmaEngine,
+    RingBuffer,
+    StreamSink,
+    StreamSource,
+)
+
+__all__ = [
+    "Component",
+    "CoSimulation",
+    "ProcessorComponent",
+    "RingBuffer",
+    "StreamSource",
+    "StreamSink",
+    "DmaEngine",
+]

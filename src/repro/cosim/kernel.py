@@ -1,0 +1,92 @@
+"""The co-simulation kernel: lockstep clocking of components."""
+
+from __future__ import annotations
+
+from repro.support.errors import SimulationError
+
+
+class Component:
+    """Base class for clocked co-simulation components.
+
+    Subclasses implement :meth:`step` (one clock cycle) and may override
+    :meth:`finished` to participate in run-termination.
+    """
+
+    name = "component"
+
+    def step(self):
+        raise NotImplementedError
+
+    def finished(self):
+        """True when this component no longer needs the clock."""
+        return True
+
+
+class ProcessorComponent(Component):
+    """Wraps a :class:`repro.sim.base.Simulator` as a component."""
+
+    def __init__(self, simulator, name="dsp"):
+        self.simulator = simulator
+        self.name = name
+
+    def step(self):
+        if not self.simulator.halted:
+            self.simulator.step()
+
+    def finished(self):
+        return self.simulator.halted
+
+    @property
+    def state(self):
+        return self.simulator.state
+
+
+class CoSimulation:
+    """Advances all components in lockstep, one cycle per step.
+
+    Components execute in registration order within a cycle; processors
+    are conventionally registered first so hardware observes the
+    memory state *after* the software's cycle, like devices sampling a
+    bus at the clock edge.
+    """
+
+    def __init__(self):
+        self.components = []
+        self.cycles = 0
+
+    def add(self, component):
+        """Register a component; returns it for chaining."""
+        if not isinstance(component, Component):
+            raise SimulationError(
+                "co-simulation components must derive from Component"
+            )
+        self.components.append(component)
+        return component
+
+    def add_processor(self, simulator, name="dsp"):
+        """Convenience: wrap and register a processor simulator."""
+        return self.add(ProcessorComponent(simulator, name))
+
+    def step(self):
+        """One global clock cycle."""
+        for component in self.components:
+            component.step()
+        self.cycles += 1
+
+    @property
+    def finished(self):
+        return all(component.finished() for component in self.components)
+
+    def run(self, max_cycles=10_000_000):
+        """Run until every component reports finished."""
+        if not self.components:
+            raise SimulationError("co-simulation has no components")
+        start = self.cycles
+        while not self.finished:
+            if self.cycles - start >= max_cycles:
+                raise SimulationError(
+                    "co-simulation exceeded %d cycles without finishing"
+                    % max_cycles
+                )
+            self.step()
+        return self.cycles - start

@@ -1,0 +1,162 @@
+"""Memory-mapped hardware models for co-simulation.
+
+All peripherals communicate through data-memory cells of a processor's
+state -- the software side uses plain loads and stores, exactly as it
+would talk to real memory-mapped hardware.  Every peripheral is a
+deterministic function of (cycle, shared memory), so co-simulations are
+reproducible across simulation levels.
+
+Ring-buffer protocol (single producer / single consumer):
+
+====================  ============================================
+``base .. base+n-1``  data slots
+``head`` cell         next slot the producer will write (mod n)
+``tail`` cell         next slot the consumer will read (mod n)
+====================  ============================================
+
+Producer writes slot then advances head; consumer reads slot then
+advances tail; empty when head == tail, full when head+1 == tail
+(mod n).  One side is hardware, the other is the DSP program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cosim.kernel import Component
+from repro.support.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class RingBuffer:
+    """Location of a ring buffer in a processor's data memory."""
+
+    memory: str
+    base: int
+    length: int
+    head: int  # address of the head index cell
+    tail: int  # address of the tail index cell
+
+    def __post_init__(self):
+        if self.length < 2:
+            raise SimulationError("ring buffers need at least 2 slots")
+
+    def level(self, state):
+        """Occupied slots."""
+        storage = getattr(state, self.memory)
+        return (storage[self.head] - storage[self.tail]) % self.length
+
+    def space(self, state):
+        return self.length - 1 - self.level(state)
+
+
+class StreamSource(Component):
+    """Feeds a sample stream into a ring buffer, ``rate`` samples/cycle
+    at most (models an ADC/serial port front end)."""
+
+    def __init__(self, state, ring, samples, rate=1, name="source"):
+        self.name = name
+        self._state = state
+        self._ring = ring
+        self._pending = list(samples)
+        self._rate = rate
+        self.delivered = 0
+
+    def step(self):
+        storage = getattr(self._state, self._ring.memory)
+        budget = self._rate
+        while self._pending and budget > 0 and self._ring.space(self._state):
+            head = storage[self._ring.head] % self._ring.length
+            value = self._pending.pop(0)
+            self._state.write_memory(
+                self._ring.memory, self._ring.base + head, value
+            )
+            storage[self._ring.head] = (head + 1) % self._ring.length
+            self.delivered += 1
+            budget -= 1
+
+    def finished(self):
+        return not self._pending
+
+
+class StreamSink(Component):
+    """Drains a ring buffer, ``rate`` samples/cycle at most (models a
+    DAC/serial port back end); collects what it saw."""
+
+    def __init__(self, state, ring, expect=None, rate=1, name="sink"):
+        self.name = name
+        self._state = state
+        self._ring = ring
+        self._rate = rate
+        self._expect = expect
+        self.received = []
+
+    def step(self):
+        storage = getattr(self._state, self._ring.memory)
+        budget = self._rate
+        while budget > 0 and self._ring.level(self._state) > 0:
+            tail = storage[self._ring.tail] % self._ring.length
+            self.received.append(storage[self._ring.base + tail])
+            storage[self._ring.tail] = (tail + 1) % self._ring.length
+            budget -= 1
+
+    def finished(self):
+        if self._expect is None:
+            return True
+        return len(self.received) >= self._expect
+
+
+class DmaEngine(Component):
+    """A doorbell-driven block-copy engine with realistic latency.
+
+    Command block in data memory (``cmd`` = base address):
+
+    =========  =====================================
+    cmd + 0    doorbell: DSP writes 1 to start;
+               engine writes 0 when the copy is done
+    cmd + 1    source address
+    cmd + 2    destination address
+    cmd + 3    word count
+    =========  =====================================
+
+    The engine moves ``bandwidth`` words per cycle while active, so the
+    DSP observes a completion latency of ``ceil(count / bandwidth)``
+    cycles -- hardware it genuinely has to wait for (poll the doorbell).
+    """
+
+    def __init__(self, state, memory, cmd, bandwidth=1, name="dma"):
+        self.name = name
+        self._state = state
+        self._memory = memory
+        self._cmd = cmd
+        self._bandwidth = bandwidth
+        self._remaining = 0
+        self._src = 0
+        self._dst = 0
+        self.transfers = 0
+
+    def step(self):
+        storage = getattr(self._state, self._memory)
+        if self._remaining == 0:
+            if storage[self._cmd] == 1:
+                self._src = storage[self._cmd + 1]
+                self._dst = storage[self._cmd + 2]
+                self._remaining = storage[self._cmd + 3]
+                if self._remaining <= 0:
+                    storage[self._cmd] = 0  # empty transfer: done at once
+            return
+        moved = 0
+        while self._remaining > 0 and moved < self._bandwidth:
+            self._state.write_memory(
+                self._memory, self._dst, storage[self._src]
+            )
+            self._src += 1
+            self._dst += 1
+            self._remaining -= 1
+            moved += 1
+        if self._remaining == 0:
+            storage[self._cmd] = 0
+            self.transfers += 1
+
+    def finished(self):
+        return self._remaining == 0

@@ -1,0 +1,41 @@
+"""kcc -- a small retargetable kernel compiler.
+
+The paper's conclusion says "the goal of the ongoing language design is
+to address retargetable compiler back-ends as well"; this package is
+that direction in miniature: a C-like kernel language (it reuses the
+behaviour-language parser) compiled to target assembly through a narrow
+back-end interface, with back-ends for the three-address ``tinydsp``
+and the VLIW ``c62x`` (where the back-end also schedules the exposed
+load and branch delay slots).
+
+The kernel language::
+
+    array x[64] @ 0;          # data-memory array at a fixed base
+    array y[64] @ 64;
+    int i = 0;
+    int acc;
+    while (i < 64) {          # tinydsp: ==/!=/truth tests only
+        acc = x[i] * 3;
+        y[i] = acc + 1;
+        i = i + 1;
+    }
+
+Variables live in registers for the whole kernel (no spilling -- the
+compiler reports when a target runs out), temporaries use a LIFO pool,
+shift amounts must be constants.  Programs end with the target's halt.
+
+This is a demonstration back-end pair, not a description-generated
+compiler; it exists to close the loop "write kernel, compile, simulate,
+profile" entirely inside this repository.
+"""
+
+from repro.kcc.frontend import KernelProgram, parse_kernel
+from repro.kcc.compiler import compile_kernel
+from repro.kcc.reference import evaluate_kernel
+
+__all__ = [
+    "KernelProgram",
+    "parse_kernel",
+    "compile_kernel",
+    "evaluate_kernel",
+]

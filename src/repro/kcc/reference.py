@@ -1,0 +1,129 @@
+"""Reference interpreter for kernel programs.
+
+An independent executable semantics for the kernel language: variables
+and array cells are 32-bit wrapping integers (matching the `int`-typed
+registers and data memories of the shipped models).  Used as the golden
+model when testing the compiler back-ends.
+"""
+
+from __future__ import annotations
+
+from repro.behavior import ast as bast
+from repro.behavior.runtime import idiv, imod
+from repro.kcc.frontend import KernelError
+from repro.support.errors import SimulationError
+
+_MAX_STEPS = 1 << 22
+
+
+def wrap32(value):
+    value &= 0xFFFFFFFF
+    if value >= 0x80000000:
+        value -= 0x100000000
+    return value
+
+
+def evaluate_kernel(program, memory):
+    """Run a kernel over ``memory`` (a mutable address -> value list).
+
+    Returns the final variable environment; ``memory`` is updated in
+    place. Array accesses are bounds-checked against declarations.
+    """
+    variables = {name: 0 for name in program.variables}
+    steps = [0]
+
+    def tick():
+        steps[0] += 1
+        if steps[0] > _MAX_STEPS:
+            raise SimulationError("kernel reference run exceeded step cap")
+
+    def address(index_node, array):
+        index = expr(index_node)
+        if not 0 <= index < array.size:
+            raise KernelError(
+                "index %d out of bounds for array %s[%d]"
+                % (index, array.name, array.size)
+            )
+        return array.base + index
+
+    def expr(node):
+        tick()
+        if isinstance(node, bast.IntLit):
+            return node.value
+        if isinstance(node, bast.Name):
+            return variables[node.name]
+        if isinstance(node, bast.Index):
+            return memory[address(node.index, program.array(node.base))]
+        if isinstance(node, bast.Unary):
+            value = expr(node.operand)
+            if node.op == "-":
+                return wrap32(-value)
+            if node.op == "~":
+                return wrap32(~value)
+            return 0 if value else 1
+        if isinstance(node, bast.Ternary):
+            return expr(node.if_true) if expr(node.condition) \
+                else expr(node.if_false)
+        if isinstance(node, bast.Binary):
+            if node.op == "&&":
+                return 1 if (expr(node.left) and expr(node.right)) else 0
+            if node.op == "||":
+                return 1 if (expr(node.left) or expr(node.right)) else 0
+            left = expr(node.left)
+            right = expr(node.right)
+            table = {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "/": lambda: idiv(left, right),
+                "%": lambda: imod(left, right),
+                "&": lambda: left & right,
+                "|": lambda: left | right,
+                "^": lambda: left ^ right,
+                "<<": lambda: left << right,
+                ">>": lambda: left >> right,
+                "==": lambda: 1 if left == right else 0,
+                "!=": lambda: 1 if left != right else 0,
+                "<": lambda: 1 if left < right else 0,
+                ">": lambda: 1 if left > right else 0,
+                "<=": lambda: 1 if left <= right else 0,
+                ">=": lambda: 1 if left >= right else 0,
+            }
+            return wrap32(table[node.op]())
+        raise KernelError("unsupported expression %r" % (node,))
+
+    def run(statements):
+        for stmt in statements:
+            tick()
+            if isinstance(stmt, bast.LocalDecl):
+                variables[stmt.name] = (
+                    wrap32(expr(stmt.init)) if stmt.init is not None else 0
+                )
+            elif isinstance(stmt, bast.Assign):
+                value = expr(stmt.value)
+                if stmt.op != "=":
+                    op = stmt.op[:-1]
+                    current = expr(stmt.target)
+                    value = expr(
+                        bast.Binary(op, bast.IntLit(current),
+                                    bast.IntLit(value))
+                    )
+                value = wrap32(value)
+                if isinstance(stmt.target, bast.Name):
+                    variables[stmt.target.name] = value
+                else:
+                    array = program.array(stmt.target.base)
+                    memory[address(stmt.target.index, array)] = value
+            elif isinstance(stmt, bast.If):
+                if expr(stmt.condition):
+                    run(stmt.then_body)
+                else:
+                    run(stmt.else_body)
+            elif isinstance(stmt, bast.While):
+                while expr(stmt.condition):
+                    run(stmt.body)
+            elif isinstance(stmt, bast.Block):
+                run(stmt.body)
+
+    run(program.body)
+    return variables

@@ -1,0 +1,310 @@
+"""Compiler back-ends: instruction selection per target model.
+
+Each target knows its register conventions and how to spell the
+primitive operations in its assembly syntax; everything above (register
+allocation, expression trees, control-flow lowering) is shared.  The
+c62x back-end also schedules the exposed load and branch delay slots
+(conservatively: nop padding).
+"""
+
+from __future__ import annotations
+
+from repro.kcc.frontend import KernelError
+
+_BINOPS = ("+", "-", "*", "&", "|", "^")
+_COMPARES = ("==", "!=", "<", ">", "<=", ">=")
+
+
+class Target:
+    """Back-end interface; methods return lists of assembly lines."""
+
+    name = "abstract"
+    model_name = "abstract"
+    var_regs = ()
+    temp_regs = ()
+    max_shift = 31
+
+    def __init__(self, fresh_label):
+        self.fresh_label = fresh_label
+
+    # -- required primitives ----------------------------------------------
+
+    def load_const(self, dst, value, scratch):
+        raise NotImplementedError
+
+    def const_needs_scratch(self, value):
+        return False
+
+    def move(self, dst, src):
+        raise NotImplementedError
+
+    def binop(self, op, dst, a, b):
+        raise NotImplementedError
+
+    def shift(self, op, dst, src, amount):
+        raise NotImplementedError
+
+    def compare(self, op, dst, a, b, scratch):
+        raise KernelError(
+            "target %r cannot materialise %r comparisons as values; "
+            "use ==/!=/truth tests in conditions" % (self.name, op)
+        )
+
+    def supports_value_compare(self, op):
+        return False
+
+    def load(self, dst, array, index_reg):
+        raise NotImplementedError
+
+    def store(self, src, array, index_reg, scratch):
+        raise NotImplementedError
+
+    def branch_if_zero(self, reg, label):
+        raise NotImplementedError
+
+    def branch_if_nonzero(self, reg, label):
+        raise NotImplementedError
+
+    def jump(self, label):
+        raise NotImplementedError
+
+    def emit_label(self, label):
+        return ["%s:" % label]
+
+    def prologue(self):
+        return []
+
+    def halt(self):
+        return ["        halt"]
+
+
+class TinyDspTarget(Target):
+    """Three-address 16-bit target; 8 registers, branch-on-nonzero only.
+
+    r7 is reserved as the permanent zero register; variables occupy
+    r1... and temporaries the rest.
+    """
+
+    name = "tinydsp"
+    model_name = "tinydsp"
+    max_shift = 7
+    _ZERO = "r7"
+
+    def __init__(self, fresh_label, variable_count):
+        super().__init__(fresh_label)
+        usable = ["r1", "r2", "r3", "r4", "r5", "r6", "r0"]
+        if variable_count > 4:
+            raise KernelError(
+                "tinydsp back-end supports at most 4 kernel variables "
+                "(got %d)" % variable_count
+            )
+        self.var_regs = tuple(usable[:variable_count])
+        self.temp_regs = tuple(usable[variable_count:])
+
+    def prologue(self):
+        return ["        ldi %s, 0" % self._ZERO]
+
+    def const_needs_scratch(self, value):
+        return not -128 <= value <= 127
+
+    def load_const(self, dst, value, scratch):
+        if -128 <= value <= 127:
+            return ["        ldi %s, %d" % (dst, value)]
+        # Build from 7-bit chunks, MSB first: five chunks cover 35 bits,
+        # the final value wraps into 32 like every register write.
+        lines = []
+        chunks = [(value >> s) & 0x7F for s in (28, 21, 14, 7, 0)]
+        while len(chunks) > 1 and chunks[0] == 0:
+            chunks.pop(0)
+        lines.append("        ldi %s, %d" % (dst, chunks[0]))
+        for chunk in chunks[1:]:
+            lines.append("        shl %s, %s, 7" % (dst, dst))
+            if chunk:
+                lines.append("        ldi %s, %d" % (scratch, chunk))
+                lines.append("        add %s, %s, %s" % (dst, dst, scratch))
+        return lines
+
+    def move(self, dst, src):
+        if dst == src:
+            return []
+        return ["        mov %s, %s" % (dst, src)]
+
+    def binop(self, op, dst, a, b):
+        mnemonic = {"+": "add", "-": "sub", "*": "mul", "&": "and",
+                    "|": "or", "^": "xor"}[op]
+        return ["        %s %s, %s, %s" % (mnemonic, dst, a, b)]
+
+    def shift(self, op, dst, src, amount):
+        mnemonic = "shl" if op == "<<" else "shr"
+        lines = []
+        current = src
+        while amount > 0:
+            step = min(amount, 7)
+            lines.append(
+                "        %s %s, %s, %d" % (mnemonic, dst, current, step)
+            )
+            current = dst
+            amount -= step
+        if not lines:
+            lines = self.move(dst, src)
+        return lines
+
+    def load(self, dst, array, index_reg):
+        # dmem[R[index_reg] + base]: fold the base into the pointer.
+        lines = []
+        if array.base:
+            lines += self._add_const(index_reg, array.base)
+        lines.append(
+            "        ld %s, *%s" % (dst, index_reg.lstrip("r"))
+        )
+        return lines
+
+    def store(self, src, array, index_reg, scratch):
+        lines = []
+        if array.base:
+            lines += self._add_const(index_reg, array.base)
+        lines.append(
+            "        st %s, *%s" % (src, index_reg.lstrip("r"))
+        )
+        return lines
+
+    def _add_const(self, reg, value):
+        if not -128 <= value <= 127:
+            raise KernelError(
+                "tinydsp arrays must live below address 128 "
+                "(base %d)" % value
+            )
+        return [
+            "        ldi %s, %d" % (self._ZERO, value),
+            "        add %s, %s, %s" % (reg, reg, self._ZERO),
+            "        ldi %s, 0" % self._ZERO,
+        ]
+
+    def branch_if_nonzero(self, reg, label):
+        return ["        brnz %s, %s" % (reg, label)]
+
+    def branch_if_zero(self, reg, label):
+        skip = self.fresh_label("bz_skip")
+        return [
+            "        brnz %s, %s" % (reg, skip),
+            "        br %s" % label,
+            "%s:" % skip,
+        ]
+
+    def jump(self, label):
+        return ["        br %s" % label]
+
+
+class C62xTarget(Target):
+    """VLIW target; the back-end pads the exposed delay slots.
+
+    a0 stays 0 (never written); variables occupy the A file from a1,
+    temporaries the B file.  No parallelism is exploited -- one
+    instruction per packet, like the paper-era "serial" compiler output
+    the C6x toolchain produced at -O0.
+    """
+
+    name = "c62x"
+    model_name = "c62x"
+    max_shift = 31
+    _LOAD_PAD = 3  # delay slots in this model (TI: 4; see c62x.lisa)
+    _BRANCH_PAD = 5
+
+    def __init__(self, fresh_label, variable_count):
+        super().__init__(fresh_label)
+        if variable_count > 12:
+            raise KernelError(
+                "c62x back-end supports at most 12 kernel variables "
+                "(got %d)" % variable_count
+            )
+        self.var_regs = tuple("a%d" % i for i in range(1, variable_count + 1))
+        self.temp_regs = tuple("b%d" % i for i in range(1, 13))
+
+    def load_const(self, dst, value, scratch):
+        low = value & 0xFFFF
+        high = (value >> 16) & 0xFFFF
+        signed16 = value if -32768 <= value <= 32767 else None
+        if signed16 is not None:
+            return ["        mvk %s, %d" % (dst, signed16)]
+        return [
+            "        mvk %s, %d" % (dst, low),
+            "        mvkh %s, %d" % (dst, high),
+        ]
+
+    def move(self, dst, src):
+        if dst == src:
+            return []
+        return ["        mv %s, %s" % (dst, src)]
+
+    def binop(self, op, dst, a, b):
+        if op == "*":
+            # mpy multiplies the signed low halves only; full 32x32 is
+            # out of scope for this back-end.
+            return ["        mpy %s, %s, %s" % (dst, a, b)]
+        mnemonic = {"+": "add", "-": "sub", "&": "and", "|": "or",
+                    "^": "xor"}[op]
+        return ["        %s %s, %s, %s" % (mnemonic, dst, a, b)]
+
+    def shift(self, op, dst, src, amount):
+        mnemonic = "shl" if op == "<<" else "shr"
+        if amount == 0:
+            return self.move(dst, src)
+        return ["        %s %s, %s, %d" % (mnemonic, dst, src, amount)]
+
+    def supports_value_compare(self, op):
+        return True
+
+    def compare(self, op, dst, a, b, scratch):
+        direct = {"==": "cmpeq", "<": "cmplt", ">": "cmpgt"}
+        if op in direct:
+            return ["        %s %s, %s, %s" % (direct[op], dst, a, b)]
+        if op == "!=":
+            return [
+                "        cmpeq %s, %s, %s" % (dst, a, b),
+                "        mvk %s, 1" % scratch,
+                "        xor %s, %s, %s" % (dst, dst, scratch),
+            ]
+        if op == "<=":  # a <= b  <=>  !(a > b)
+            return [
+                "        cmpgt %s, %s, %s" % (dst, a, b),
+                "        mvk %s, 1" % scratch,
+                "        xor %s, %s, %s" % (dst, dst, scratch),
+            ]
+        if op == ">=":
+            return [
+                "        cmplt %s, %s, %s" % (dst, a, b),
+                "        mvk %s, 1" % scratch,
+                "        xor %s, %s, %s" % (dst, dst, scratch),
+            ]
+        raise KernelError("unsupported comparison %r" % op)
+
+    def _pad(self, count):
+        return ["        nop"] * count
+
+    def load(self, dst, array, index_reg):
+        return (
+            ["        ldw %s, %s, %d" % (dst, index_reg, array.base)]
+            + self._pad(self._LOAD_PAD)
+        )
+
+    def store(self, src, array, index_reg, scratch):
+        return ["        stw %s, %s, %d" % (src, index_reg, array.base)]
+
+    def branch_if_zero(self, reg, label):
+        return ["        bz %s, %s" % (reg, label)] + self._pad(
+            self._BRANCH_PAD
+        )
+
+    def branch_if_nonzero(self, reg, label):
+        return ["        bnz %s, %s" % (reg, label)] + self._pad(
+            self._BRANCH_PAD
+        )
+
+    def jump(self, label):
+        return ["        b %s" % label] + self._pad(self._BRANCH_PAD)
+
+
+TARGETS = {
+    "tinydsp": TinyDspTarget,
+    "c62x": C62xTarget,
+}

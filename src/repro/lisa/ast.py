@@ -1,0 +1,248 @@
+"""Abstract syntax tree for the LISA dialect.
+
+The AST is a faithful, unchecked image of the source text.  Semantic
+analysis (:mod:`repro.lisa.semantics`) turns it into the model data base.
+
+BEHAVIOR and EXPRESSION section bodies are stored as raw token slices;
+they are parsed by :mod:`repro.behavior` during semantic analysis so the
+two languages stay decoupled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.support.bitutils import BitPattern
+from repro.support.diagnostics import SourceLocation
+
+
+@dataclass
+class ModelAst:
+    """A complete LISA description: resources + configuration + operations."""
+
+    name: str
+    resources: List[object]  # ProgramCounter/Register/Memory/Pipeline Ast
+    config: List["ConfigItem"]
+    operations: List["OperationAst"]
+    location: SourceLocation
+
+
+# --- RESOURCE section -----------------------------------------------------
+
+
+@dataclass
+class ProgramCounterAst:
+    """``PROGRAM_COUNTER type name;``"""
+
+    type_name: str
+    name: str
+    location: SourceLocation
+
+
+@dataclass
+class RegisterAst:
+    """``REGISTER type name[count];`` (count omitted -> scalar)."""
+
+    type_name: str
+    name: str
+    count: Optional[int]
+    location: SourceLocation
+
+
+@dataclass
+class MemoryAst:
+    """``MEMORY type name[size];``"""
+
+    type_name: str
+    name: str
+    size: int
+    location: SourceLocation
+
+
+@dataclass
+class PipelineAst:
+    """``PIPELINE name = { ST1; ST2; ... };``"""
+
+    name: str
+    stages: List[str]
+    location: SourceLocation
+
+
+@dataclass
+class ConfigItem:
+    """``KEY(arg);`` inside the CONFIG block; arg is int or identifier."""
+
+    key: str
+    args: List[object]
+    location: SourceLocation
+
+
+# --- OPERATION sections ----------------------------------------------------
+
+
+@dataclass
+class GroupDeclAst:
+    """``GROUP name = { op_a || op_b || op_c };``"""
+
+    name: str
+    alternatives: List[str]
+    location: SourceLocation
+
+
+@dataclass
+class InstanceDeclAst:
+    """``INSTANCE name = { op };`` -- a group with exactly one alternative."""
+
+    name: str
+    operation: str
+    location: SourceLocation
+
+
+@dataclass
+class LabelDeclAst:
+    """``LABEL name1, name2;`` -- integer coding fields."""
+
+    names: List[str]
+    location: SourceLocation
+
+
+@dataclass
+class ReferenceDeclAst:
+    """``REFERENCE name1, name2;`` -- items declared by an ancestor op."""
+
+    names: List[str]
+    location: SourceLocation
+
+
+@dataclass
+class DeclareSectionAst:
+    items: List[object]  # Group/Instance/Label/Reference decls
+    location: SourceLocation
+
+
+@dataclass
+class CodingPatternAst:
+    """A literal bit pattern element in a CODING section."""
+
+    pattern: BitPattern
+    location: SourceLocation
+
+
+@dataclass
+class CodingRefAst:
+    """A named element in a CODING section.
+
+    ``width`` must be given (``name[8]``) when ``name`` is a LABEL; for
+    groups and instances the width comes from the referenced operations.
+    """
+
+    name: str
+    width: Optional[int]
+    location: SourceLocation
+
+
+@dataclass
+class CodingSectionAst:
+    elements: List[object]  # CodingPatternAst | CodingRefAst
+    location: SourceLocation
+
+
+@dataclass
+class SyntaxLiteralAst:
+    text: str
+    location: SourceLocation
+
+
+@dataclass
+class SyntaxRefAst:
+    name: str
+    location: SourceLocation
+
+
+@dataclass
+class SyntaxSectionAst:
+    elements: List[object]  # SyntaxLiteralAst | SyntaxRefAst
+    location: SourceLocation
+
+
+@dataclass
+class BehaviorSectionAst:
+    """Raw token body of a BEHAVIOR section (without the braces)."""
+
+    tokens: List[object]
+    location: SourceLocation
+
+
+@dataclass
+class ExpressionSectionAst:
+    """Raw token body of an EXPRESSION section (without the braces)."""
+
+    tokens: List[object]
+    location: SourceLocation
+
+
+@dataclass
+class ActivationSectionAst:
+    """``ACTIVATION { name1, name2 }`` -- ops scheduled into their stages."""
+
+    names: List[str]
+    location: SourceLocation
+
+
+@dataclass
+class IfSectionsAst:
+    """Section-level ``IF (cond) { sections } ELSE { sections }``.
+
+    This is the paper's construct for non-orthogonal coding fields
+    (Section 5.1): the condition is over REFERENCEd coding items and is
+    resolvable at decode time, letting the simulation compiler pick the
+    variant during simulation compilation.
+    """
+
+    condition_tokens: List[object]
+    then_items: List[object]
+    else_items: List[object]
+    location: SourceLocation
+
+
+@dataclass
+class SwitchCaseAst:
+    """One ``CASE value: { sections }`` arm (value None = DEFAULT)."""
+
+    value_tokens: Optional[List[object]]
+    items: List[object]
+    location: SourceLocation
+
+
+@dataclass
+class SwitchSectionsAst:
+    """Section-level ``SWITCH (ref) { CASE ...: {...} ... }``."""
+
+    selector_tokens: List[object]
+    cases: List[SwitchCaseAst]
+    location: SourceLocation
+
+
+@dataclass
+class OperationAst:
+    """``OPERATION name [IN pipe.STAGE] { section items }``."""
+
+    name: str
+    pipeline: Optional[str]
+    stage: Optional[str]
+    items: List[object]  # sections and If/Switch section groups
+    location: SourceLocation
+
+    def walk_sections(self):
+        """Yield every plain section, descending into IF/SWITCH arms."""
+        stack = list(reversed(self.items))
+        while stack:
+            item = stack.pop()
+            if isinstance(item, IfSectionsAst):
+                stack.extend(reversed(item.then_items + item.else_items))
+            elif isinstance(item, SwitchSectionsAst):
+                for case in reversed(item.cases):
+                    stack.extend(reversed(case.items))
+            else:
+                yield item

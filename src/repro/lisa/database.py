@@ -1,0 +1,163 @@
+"""Serialisation of the model data base.
+
+The paper's Figure 5 shows the LISA compiler producing a *data base*
+that the downstream generators consume.  In this implementation the
+data base is the in-memory :class:`repro.lisa.model.MachineModel`; this
+module renders it to a JSON-compatible dict so it can be stored,
+diffed, and inspected (``repro-lisa <model> --dump-db``).
+
+The dump is a faithful *description* of the model (resources, config,
+codings, syntax, operand structure, section inventory) rather than an
+executable image: behaviours are included as structural summaries, not
+re-loadable ASTs, because the authoritative source is the ``.lisa``
+text.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.behavior import ast as bast
+from repro.lisa import model as m
+
+
+def model_to_dict(model):
+    """Render a machine model to a JSON-compatible dict."""
+    return {
+        "name": model.name,
+        "source": model.source_filename,
+        "pc": model.pc_name,
+        "registers": [
+            {
+                "name": reg.name,
+                "type": reg.dtype.name,
+                "width": reg.dtype.width,
+                "signed": reg.dtype.signed,
+                "count": reg.count,
+            }
+            for reg in model.registers.values()
+        ],
+        "memories": [
+            {
+                "name": mem.name,
+                "type": mem.dtype.name,
+                "width": mem.dtype.width,
+                "size": mem.size,
+            }
+            for mem in model.memories.values()
+        ],
+        "pipeline": {
+            "name": model.pipeline.name,
+            "stages": list(model.pipeline.stages),
+        },
+        "config": {
+            "word_size": model.config.word_size,
+            "program_memory": model.config.program_memory,
+            "fetch_packet_words": model.config.fetch_packet_words,
+            "parallel_bit": model.config.parallel_bit,
+            "root_operation": model.config.root_operation,
+            "execute_stage": model.config.execute_stage,
+            "branch_policy": model.config.branch_policy,
+            "defines": dict(model.config.defines),
+        },
+        "operations": [
+            _operation_to_dict(model, op)
+            for op in model.operations.values()
+        ],
+    }
+
+
+def model_to_json(model, indent=2):
+    return json.dumps(model_to_dict(model), indent=indent, sort_keys=True)
+
+
+def _operation_to_dict(model, op):
+    entry = {
+        "name": op.name,
+        "stage": op.stage,
+        "labels": list(op.labels),
+        "references": list(op.references),
+        "groups": {name: list(alts) for name, alts in op.groups.items()},
+        "instances": dict(op.instances),
+        "coding": _coding_to_list(op) if op.has_coding else None,
+        "coding_width": op.coding_width,
+        "syntax_variants": _syntax_variants(model, op),
+        "sections": _section_inventory(op),
+    }
+    return entry
+
+
+def _coding_to_list(op):
+    elements = []
+    for element in op.coding:
+        if isinstance(element, m.CodingPattern):
+            elements.append({"pattern": str(element.pattern)})
+        elif isinstance(element, m.CodingLabel):
+            elements.append({"label": element.name, "width": element.width})
+        else:
+            elements.append({"slot": element.name, "width": element.width})
+    return elements
+
+
+def _syntax_variants(model, op):
+    variants = []
+    for syntax, bindings, usable in op.syntax_variants(model):
+        variants.append({
+            "text": _syntax_text(syntax),
+            "bindings": dict(bindings),
+            "assemblable": usable,
+        })
+    return variants
+
+
+def _syntax_text(syntax):
+    parts = []
+    for element in syntax.elements:
+        if isinstance(element, m.SyntaxLiteral):
+            parts.append('"%s"' % element.text)
+        else:
+            parts.append(element.name)
+    return " ".join(parts)
+
+
+def _section_inventory(op):
+    """Count section kinds across all guard variants."""
+    behaviors = 0
+    activations = []
+    has_expression = False
+    guarded = False
+    for items in op.all_section_variants():
+        for item in items:
+            if isinstance(item, m.Behavior):
+                behaviors += 1
+            elif isinstance(item, m.Expression):
+                has_expression = True
+            elif isinstance(item, m.Activation):
+                activations.extend(item.names)
+    for item in op.items:
+        if isinstance(item, (m.IfSections, m.SwitchSections)):
+            guarded = True
+    return {
+        "behavior_variants": behaviors,
+        "has_expression": has_expression,
+        "activates": sorted(set(activations)),
+        "guarded": guarded,
+        "written_names": sorted(_written_names(op)),
+    }
+
+
+def _written_names(op):
+    """Names assigned anywhere in the operation's behaviours."""
+    written = set()
+    for items in op.all_section_variants():
+        for item in items:
+            if isinstance(item, m.Behavior):
+                for stmt in item.statements:
+                    for node in bast.walk(stmt):
+                        if isinstance(node, bast.Assign):
+                            target = node.target
+                            if isinstance(target, bast.Name):
+                                written.add(target.name)
+                            elif isinstance(target, bast.Index):
+                                written.add(target.base)
+    return written

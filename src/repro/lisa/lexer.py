@@ -1,0 +1,235 @@
+"""Tokenizer shared by the LISA parser and the behaviour-language parser.
+
+The LISA dialect and its embedded C-like behaviour language use one token
+set, so BEHAVIOR/EXPRESSION sections can be captured as token slices and
+handed to the behaviour parser without re-lexing.
+
+Token kinds:
+
+``ident``
+    Identifiers and keywords (keyword-ness is decided by the parsers).
+``int``
+    Integer literals: decimal, ``0x`` hex, ``0b`` binary without
+    don't-cares.  ``value`` holds the integer.
+``bits``
+    Binary literals containing don't-care digits (``0b01x1``).  ``value``
+    holds a :class:`repro.support.BitPattern`.
+``string``
+    Double-quoted strings with C escapes; ``value`` holds the text.
+``punct``
+    Operators and delimiters; ``text`` holds the exact spelling.
+``eof``
+    End of input (always the final token).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.support.bitutils import BitPattern
+from repro.support.diagnostics import SourceLocation
+from repro.support.errors import LisaSyntaxError
+
+# Longest-first so that "<<=" is not read as "<<" then "=".
+_PUNCTUATION = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "{", "}", "(", ")", "[", "]", ";", ",", ":", "=", "<", ">",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "?", ".", "@",
+]
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+
+# Digit sets are frozensets on purpose: membership tests use _peek(),
+# which returns "" at end of input, and "" is "in" every *string*.
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+_BIN_DIGITS = frozenset("01xX")
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    '"': '"',
+    "\\": "\\",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str
+    text: str
+    value: object
+    location: SourceLocation
+
+    def is_punct(self, text):
+        return self.kind == "punct" and self.text == text
+
+    def is_ident(self, text=None):
+        if self.kind != "ident":
+            return False
+        return text is None or self.text == text
+
+    def __str__(self):
+        return "%s(%r)" % (self.kind, self.text)
+
+
+class Lexer:
+    """Streaming tokenizer over one source text."""
+
+    def __init__(self, source, filename="<string>"):
+        self._source = source
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokens(self):
+        """Yield every token in the source, ending with one ``eof`` token."""
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= len(self._source):
+                yield Token("eof", "", None, self._location())
+                return
+            yield self._next_token()
+
+    # -- internals -------------------------------------------------------
+
+    def _location(self):
+        return SourceLocation(self._filename, self._line, self._col)
+
+    def _peek(self, ahead=0):
+        pos = self._pos + ahead
+        if pos < len(self._source):
+            return self._source[pos]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self._pos >= len(self._source):
+                return
+            if self._source[self._pos] == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+            self._pos += 1
+
+    def _skip_whitespace_and_comments(self):
+        while self._pos < len(self._source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            else:
+                return
+
+    def _skip_block_comment(self):
+        start = self._location()
+        self._advance(2)
+        while self._pos < len(self._source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise LisaSyntaxError("unterminated block comment", start)
+
+    def _next_token(self):
+        ch = self._peek()
+        if ch in _IDENT_START:
+            return self._lex_ident()
+        if ch.isdigit():
+            return self._lex_number()
+        if ch == '"':
+            return self._lex_string()
+        return self._lex_punct()
+
+    def _lex_ident(self):
+        loc = self._location()
+        start = self._pos
+        while self._peek() in _IDENT_CONT:
+            self._advance()
+        text = self._source[start : self._pos]
+        return Token("ident", text, text, loc)
+
+    def _lex_number(self):
+        loc = self._location()
+        start = self._pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            while self._peek() in _HEX_DIGITS:
+                self._advance()
+            text = self._source[start : self._pos]
+            if len(text) == 2:
+                raise LisaSyntaxError("incomplete hex literal %r" % text, loc)
+            return Token("int", text, int(text, 16), loc)
+        if self._peek() == "0" and self._peek(1) in ("b", "B"):
+            self._advance(2)
+            digit_start = self._pos
+            while self._peek() in _BIN_DIGITS:
+                self._advance()
+            digits = self._source[digit_start : self._pos]
+            text = self._source[start : self._pos]
+            if not digits:
+                raise LisaSyntaxError("incomplete binary literal %r" % text, loc)
+            if "x" in digits or "X" in digits:
+                return Token("bits", text, BitPattern.parse(digits), loc)
+            return Token("int", text, int(digits, 2), loc)
+        while self._peek().isdigit():
+            self._advance()
+        text = self._source[start : self._pos]
+        if self._peek() in _IDENT_START:
+            raise LisaSyntaxError(
+                "invalid character %r after number %r" % (self._peek(), text),
+                self._location(),
+            )
+        return Token("int", text, int(text, 10), loc)
+
+    def _lex_string(self):
+        loc = self._location()
+        self._advance()  # opening quote
+        chars = []
+        while True:
+            if self._pos >= len(self._source) or self._peek() == "\n":
+                raise LisaSyntaxError("unterminated string literal", loc)
+            ch = self._peek()
+            if ch == '"':
+                self._advance()
+                text = "".join(chars)
+                return Token("string", '"%s"' % text, text, loc)
+            if ch == "\\":
+                escape = self._peek(1)
+                if escape not in _ESCAPES:
+                    raise LisaSyntaxError(
+                        "unknown escape sequence \\%s" % escape, self._location()
+                    )
+                chars.append(_ESCAPES[escape])
+                self._advance(2)
+            else:
+                chars.append(ch)
+                self._advance()
+
+    def _lex_punct(self):
+        loc = self._location()
+        for punct in _PUNCTUATION:
+            if self._source.startswith(punct, self._pos):
+                self._advance(len(punct))
+                return Token("punct", punct, punct, loc)
+        raise LisaSyntaxError(
+            "unexpected character %r" % self._peek(), loc
+        )
+
+
+def tokenize(source, filename="<string>"):
+    """Tokenize ``source`` into a list ending with an ``eof`` token."""
+    return list(Lexer(source, filename).tokens())

@@ -1,0 +1,22 @@
+"""Cycle-accurate processor substrate shared by all simulators.
+
+The pipeline driver, processor state and micro-operation scheduling are
+deliberately *shared* between the interpretive and the compiled
+simulators: the simulators differ only in when decoding, operation
+sequencing and behaviour specialisation happen, which is exactly the
+variable the paper's experiments isolate.
+"""
+
+from repro.machine.state import ProcessorState
+from repro.machine.control import PipelineControl
+from repro.machine.schedule import ScheduledBehavior, build_schedule
+from repro.machine.driver import IssueSlot, Pipeline
+
+__all__ = [
+    "ProcessorState",
+    "PipelineControl",
+    "ScheduledBehavior",
+    "build_schedule",
+    "IssueSlot",
+    "Pipeline",
+]

@@ -1,0 +1,57 @@
+"""Pipeline control interface exposed to behaviour code.
+
+Behaviours receive a :class:`PipelineControl` as their ``c`` argument and
+call the control intrinsics ``flush()``, ``stall(n)`` and ``halt()``
+through it.  The driver inspects and clears the request flags once per
+executed stage.
+"""
+
+from __future__ import annotations
+
+from repro.support.errors import SimulationError
+
+
+class PipelineControl:
+    """Collects control requests raised during one pipeline stage."""
+
+    __slots__ = ("current_stage", "flush_below", "stall_cycles", "halted")
+
+    def __init__(self):
+        self.current_stage = 0
+        self.flush_below = -1  # highest stage index requesting a flush
+        self.stall_cycles = 0
+        self.halted = False
+
+    def reset(self):
+        self.current_stage = 0
+        self.flush_below = -1
+        self.stall_cycles = 0
+        self.halted = False
+
+    # -- intrinsics --------------------------------------------------------
+
+    def request_flush(self):
+        """Squash all in-flight instructions younger than the caller.
+
+        "Younger" means occupying an earlier pipeline stage in the same
+        cycle.  This is the pipeline operation (e.g. after a taken
+        branch) that the paper notes simple instruction sequencers, such
+        as nML's, cannot express.
+        """
+        if self.current_stage > self.flush_below:
+            self.flush_below = self.current_stage
+
+    def request_stall(self, cycles):
+        """Freeze instruction fetch for ``cycles`` cycles (bubbles issue)."""
+        if not isinstance(cycles, int) or cycles < 0:
+            raise SimulationError("stall() needs a non-negative cycle count")
+        self.stall_cycles += cycles
+
+    def request_halt(self):
+        """Stop fetching; the pipeline drains and simulation ends.
+
+        Instructions younger than the halting one are squashed, so code
+        placed after a ``halt`` instruction never executes.
+        """
+        self.halted = True
+        self.request_flush()

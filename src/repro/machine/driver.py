@@ -1,0 +1,171 @@
+"""The generic pipeline driver.
+
+One driver serves every simulator level; only the *front-end* differs:
+
+* interpretive: the front-end fetches, decodes, schedules and binds
+  behaviours on every call (all work at run-time),
+* compiled levels: the front-end is a table lookup into pre-computed
+  issue slots (work moved to simulation-compile time).
+
+Cycle semantics (one :meth:`Pipeline.step`):
+
+1. *advance*: the oldest issue slot retires, everything shifts one stage
+   deeper, and (unless stalled or halted) the front-end provides a new
+   slot for stage 0 from the current PC; the PC advances past the
+   fetched words.
+2. *execute*: occupied stages run their micro-operations, **oldest
+   (deepest) stage first**.  Same-cycle writes from older instructions
+   are therefore visible to younger instructions in earlier stages,
+   which yields sequential semantics for interlock-free pipelines and
+   exposed-latency semantics (delay slots) when results are written in
+   late stages.
+3. *control*: a ``flush()`` raised at stage *k* squashes the slots in
+   stages younger than *k* in the same cycle, before they execute;
+   ``halt()`` additionally stops fetching, and :meth:`Pipeline.run`
+   returns once the pipeline has drained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.support.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class IssueSlot:
+    """Everything one fetch issues into the pipeline in one cycle.
+
+    For scalar models this is one instruction; for VLIW models one
+    *execute packet* (several instructions issued together).
+
+    ``ops_by_stage``
+        Per pipeline stage, the tuple of argument-less callables to run
+        when the slot occupies that stage.
+    ``words``
+        Program-memory words consumed (PC advance).
+    ``insn_count``
+        Instructions contained (statistics).
+    ``label``
+        Optional human-readable description (tracing/debug).
+    """
+
+    ops_by_stage: Tuple[Tuple[object, ...], ...]
+    words: int
+    insn_count: int
+    label: Optional[str] = None
+
+
+def trap_slot(model, message):
+    """An issue slot that raises when (and only when) it executes.
+
+    Front-ends return trap slots for fetches that cannot be decoded or
+    fall outside the known program.  The pipeline keeps fetching past
+    taken branches and ``halt`` until they execute, so such fetches are
+    normal -- they are squashed before their execute stage and the trap
+    never fires.  If one *does* reach its execute stage, the program
+    really ran into undefined memory and the trap reports it.
+    """
+    from repro.support.errors import SimulationError
+
+    if model.config.execute_stage is not None:
+        stage = model.pipeline.stage_index(model.config.execute_stage)
+    else:
+        stage = model.pipeline.depth - 1
+
+    def trap():
+        raise SimulationError(message)
+
+    ops = tuple(
+        (trap,) if index == stage else ()
+        for index in range(model.pipeline.depth)
+    )
+    return IssueSlot(ops_by_stage=ops, words=1, insn_count=1, label="<trap>")
+
+
+class Pipeline:
+    """Drives issue slots through the model's pipeline stages."""
+
+    def __init__(self, model, state, control, frontend, watcher=None):
+        self._model = model
+        self._state = state
+        self._control = control
+        self._frontend = frontend
+        self._pc_name = model.pc_name
+        self._depth = model.pipeline.depth
+        self._watcher = watcher
+        self.slots = [None] * self._depth
+        self.cycles = 0
+        self.instructions_retired = 0
+
+    @property
+    def state(self):
+        return self._state
+
+    @property
+    def control(self):
+        return self._control
+
+    @property
+    def drained(self):
+        return all(slot is None for slot in self.slots)
+
+    def reset(self):
+        self.slots = [None] * self._depth
+        self.cycles = 0
+        self.instructions_retired = 0
+        self._control.reset()
+
+    def step(self):
+        """Simulate one cycle."""
+        control = self._control
+        slots = self.slots
+
+        # -- advance ------------------------------------------------------
+        retiring = slots.pop()
+        if retiring is not None:
+            self.instructions_retired += retiring.insn_count
+        if control.halted:
+            incoming = None
+        elif control.stall_cycles > 0:
+            control.stall_cycles -= 1
+            incoming = None
+        else:
+            state = self._state
+            pc = getattr(state, self._pc_name)
+            incoming = self._frontend(pc)
+            if incoming is not None:
+                setattr(state, self._pc_name, pc + incoming.words)
+        slots.insert(0, incoming)
+
+        # -- execute (oldest first) + same-cycle flush ---------------------
+        for stage in range(self._depth - 1, -1, -1):
+            slot = slots[stage]
+            if slot is None:
+                continue
+            if stage < control.flush_below:
+                slots[stage] = None
+                continue
+            ops = slot.ops_by_stage[stage]
+            if ops:
+                control.current_stage = stage
+                for fn in ops:
+                    fn()
+        control.flush_below = -1
+
+        self.cycles += 1
+        if self._watcher is not None:
+            self._watcher(self)
+
+    def run(self, max_cycles=50_000_000):
+        """Run until the pipeline halts and drains; returns cycles run."""
+        start = self.cycles
+        while not (self._control.halted and self.drained):
+            if self.cycles - start >= max_cycles:
+                raise SimulationError(
+                    "simulation exceeded %d cycles without halting"
+                    % max_cycles
+                )
+            self.step()
+        return self.cycles - start

@@ -1,0 +1,32 @@
+"""Execute-packet extraction for VLIW models.
+
+On TMS320C6x-style machines each 32-bit word carries a *parallel bit*;
+a set bit chains the following word into the same execute packet, up to
+the fetch-packet size.  Scalar models trivially issue one word.
+
+Both the interpretive simulator (at run-time) and the simulation
+compiler (at compile-time) use this single implementation, so packet
+boundaries can never disagree between simulation levels.
+"""
+
+from __future__ import annotations
+
+
+def packet_extent(model, read_word, pc, limit):
+    """Number of words in the execute packet starting at ``pc``.
+
+    ``read_word(address)`` returns the instruction word at ``address``;
+    ``limit`` is the first address past the readable region.
+    """
+    config = model.config
+    if config.fetch_packet_words <= 1:
+        return 1
+    pbit = 1 << config.parallel_bit
+    count = 1
+    while (
+        count < config.fetch_packet_words
+        and pc + count < limit
+        and read_word(pc + count - 1) & pbit
+    ):
+        count += 1
+    return count

@@ -1,0 +1,146 @@
+"""Architectural state: registers, memories, program counter.
+
+Resources are exposed as plain instance attributes named exactly as in
+the LISA description (``state.R`` is a list, ``state.PC`` an int), so
+generated behaviour code accesses them without any indirection.  Values
+are kept in *canonical* form: signed types as signed Python ints, so
+reads need no conversion -- writers canonicalise.
+"""
+
+from __future__ import annotations
+
+from repro.support.errors import SimulationError
+
+
+class ProcessorState:
+    """Mutable architectural state for one machine model."""
+
+    def __init__(self, model):
+        self._model = model
+        self._register_defs = model.registers
+        self._memory_defs = model.memories
+        self._pc_name = model.pc_name
+        self.reset()
+
+    @property
+    def model(self):
+        return self._model
+
+    def reset(self):
+        """Zero all registers and memories."""
+        for reg in self._register_defs.values():
+            if reg.is_file:
+                setattr(self, reg.name, [0] * reg.count)
+            else:
+                setattr(self, reg.name, 0)
+        for mem in self._memory_defs.values():
+            setattr(self, mem.name, [0] * mem.size)
+
+    # -- checked accessors (tools/tests; generated code goes direct) -------
+
+    @property
+    def pc(self):
+        return getattr(self, self._pc_name)
+
+    @pc.setter
+    def pc(self, value):
+        dtype = self._register_defs[self._pc_name].dtype
+        setattr(self, self._pc_name, dtype.canonical(value))
+
+    def read_register(self, name, index=None):
+        reg = self._register_defs.get(name)
+        if reg is None:
+            raise SimulationError("unknown register %r" % name)
+        storage = getattr(self, name)
+        if reg.is_file:
+            if index is None:
+                raise SimulationError(
+                    "register file %r needs an index" % name
+                )
+            self._check_index(name, index, reg.count)
+            return storage[index]
+        if index is not None:
+            raise SimulationError("register %r is scalar" % name)
+        return storage
+
+    def write_register(self, name, *args):
+        if len(args) == 1:
+            index, value = None, args[0]
+        elif len(args) == 2:
+            index, value = args
+        else:
+            raise SimulationError("write_register takes (name, [index,] value)")
+        reg = self._register_defs.get(name)
+        if reg is None:
+            raise SimulationError("unknown register %r" % name)
+        value = reg.dtype.canonical(value)
+        if reg.is_file:
+            if index is None:
+                raise SimulationError("register file %r needs an index" % name)
+            self._check_index(name, index, reg.count)
+            getattr(self, name)[index] = value
+        else:
+            if index is not None:
+                raise SimulationError("register %r is scalar" % name)
+            setattr(self, name, value)
+
+    def read_memory(self, name, address):
+        mem = self._memory_defs.get(name)
+        if mem is None:
+            raise SimulationError("unknown memory %r" % name)
+        self._check_index(name, address, mem.size)
+        return getattr(self, name)[address]
+
+    def write_memory(self, name, address, value):
+        mem = self._memory_defs.get(name)
+        if mem is None:
+            raise SimulationError("unknown memory %r" % name)
+        self._check_index(name, address, mem.size)
+        getattr(self, name)[address] = mem.dtype.canonical(value)
+
+    def load_words(self, memory_name, base, words):
+        """Bulk-load ``words`` into ``memory_name`` starting at ``base``."""
+        mem = self._memory_defs.get(memory_name)
+        if mem is None:
+            raise SimulationError("unknown memory %r" % memory_name)
+        if base < 0 or base + len(words) > mem.size:
+            raise SimulationError(
+                "load of %d words at %d overflows memory %r (size %d)"
+                % (len(words), base, memory_name, mem.size)
+            )
+        storage = getattr(self, memory_name)
+        canonical = mem.dtype.canonical
+        for offset, word in enumerate(words):
+            storage[base + offset] = canonical(word)
+
+    def _check_index(self, name, index, limit):
+        if not isinstance(index, int) or index < 0 or index >= limit:
+            raise SimulationError(
+                "index %r out of range for %r (size %d)" % (index, name, limit)
+            )
+
+    # -- comparison / snapshotting (accuracy cross-checks) -----------------
+
+    def snapshot(self):
+        """A deep copy of all architectural state, keyed by resource name."""
+        snap = {}
+        for reg in self._register_defs.values():
+            value = getattr(self, reg.name)
+            snap[reg.name] = list(value) if reg.is_file else value
+        for mem in self._memory_defs.values():
+            snap[mem.name] = list(getattr(self, mem.name))
+        return snap
+
+    def differences(self, other):
+        """Resource names whose contents differ between two states.
+
+        This is the paper's "same accuracy level" check: two simulators
+        are equivalent iff this list is empty after any program.
+        """
+        diffs = []
+        mine = self.snapshot()
+        theirs = other.snapshot()
+        for name in mine:
+            if mine[name] != theirs.get(name):
+                diffs.append(name)
+        return diffs

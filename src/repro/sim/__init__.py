@@ -1,0 +1,68 @@
+"""Simulators, from fully interpretive to fully compiled.
+
+========== ===== ======================= ===============================
+kind       level decode / sequence       behaviour execution
+========== ===== ======================= ===============================
+interpretive  -- every fetch, run-time   AST interpretation, run-time
+                                         variant resolution
+predecoded    1  decode at load,         AST interpretation,
+                 sequencing per fetch    cached variants
+compiled      2  simulation table built  AST interpretation with
+                 at load (dynamic        pre-bound operands
+                 scheduling)
+static        2  simulation table +      as ``compiled``, steady-state
+                 statically scheduled    columns composed at run-start
+                 columns
+unfolded      3  simulation table with   generated Python per program
+                 operation instantiation instruction, operands folded
+unfolded_static  3+static: columns are additionally fused into single
+                 generated functions (full simulation-loop unfolding)
+========== ===== ======================= ===============================
+"""
+
+from repro.sim.base import Simulator
+from repro.sim.interpretive import InterpretiveSimulator
+from repro.sim.predecoded import PredecodedSimulator
+from repro.sim.compiled import CompiledSimulator
+from repro.sim.static import StaticScheduledSimulator
+from repro.support.errors import ReproError
+
+SIM_KINDS = (
+    "interpretive",
+    "predecoded",
+    "compiled",
+    "static",
+    "unfolded",
+    "unfolded_static",
+)
+
+
+def create_simulator(model, kind="compiled"):
+    """Instantiate a simulator of the given ``kind`` for ``model``."""
+    if kind == "interpretive":
+        return InterpretiveSimulator(model)
+    if kind == "predecoded":
+        return PredecodedSimulator(model)
+    if kind == "compiled":
+        return CompiledSimulator(model, level="sequenced")
+    if kind == "unfolded":
+        return CompiledSimulator(model, level="instantiated")
+    if kind == "static":
+        return StaticScheduledSimulator(model, level="sequenced")
+    if kind == "unfolded_static":
+        return StaticScheduledSimulator(model, level="instantiated")
+    raise ReproError(
+        "unknown simulator kind %r (expected one of %s)"
+        % (kind, ", ".join(SIM_KINDS))
+    )
+
+
+__all__ = [
+    "SIM_KINDS",
+    "create_simulator",
+    "Simulator",
+    "InterpretiveSimulator",
+    "PredecodedSimulator",
+    "CompiledSimulator",
+    "StaticScheduledSimulator",
+]

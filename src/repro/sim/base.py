@@ -1,0 +1,128 @@
+"""Common simulator shell: state, control, program loading, statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.control import PipelineControl
+from repro.machine.state import ProcessorState
+from repro.support.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SimulationStats:
+    """Summary of one simulation run."""
+
+    cycles: int
+    instructions: int
+
+    @property
+    def cpi(self):
+        if self.instructions == 0:
+            return float("inf")
+        return self.cycles / self.instructions
+
+
+class Simulator:
+    """Base class for all simulator kinds.
+
+    Subclasses implement :meth:`_build_engine`, returning an object with
+    ``step()``, ``run(max_cycles)``, ``cycles``, ``instructions_retired``
+    and ``drained`` (either :class:`repro.machine.Pipeline` or the static
+    driver).
+    """
+
+    kind = "abstract"
+
+    def __init__(self, model):
+        self.model = model
+        self.state = ProcessorState(model)
+        self.control = PipelineControl()
+        self.program = None
+        self._engine = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def load_program(self, program):
+        """Load ``program`` and prepare the simulation engine.
+
+        For compiled simulators this is where simulation compilation
+        happens (decode, sequencing, instantiation); time it to measure
+        the paper's "compilation speed" (its Figure 6).
+        """
+        self.state.reset()
+        self.control.reset()
+        program.load_into(self.state)
+        self.program = program
+        self._engine = self._build_engine(program)
+        return self
+
+    def reset(self):
+        """Reset state and reload the current program."""
+        if self.program is None:
+            raise SimulationError("no program loaded")
+        self.load_program(self.program)
+
+    def _build_engine(self, program):
+        raise NotImplementedError
+
+    @property
+    def engine(self):
+        if self._engine is None:
+            raise SimulationError("no program loaded")
+        return self._engine
+
+    # -- running ---------------------------------------------------------------
+
+    def step(self):
+        """Simulate a single cycle."""
+        self.engine.step()
+
+    def run(self, max_cycles=50_000_000):
+        """Run to completion; returns :class:`SimulationStats`."""
+        self.engine.run(max_cycles)
+        return self.stats
+
+    def run_until(self, predicate, max_cycles=50_000_000):
+        """Step until ``predicate(self)`` is true or the program halts.
+
+        The debugger primitive: breakpoints, watchpoints and state
+        conditions are all predicates.  Returns True when the predicate
+        fired, False when the program halted first.
+        """
+        engine = self.engine
+        for _ in range(max_cycles):
+            if predicate(self):
+                return True
+            if self.halted:
+                return False
+            engine.step()
+        raise SimulationError(
+            "run_until exceeded %d cycles" % max_cycles
+        )
+
+    def run_to_pc(self, pc, max_cycles=50_000_000):
+        """Run until the next fetch address reaches ``pc`` (breakpoint).
+
+        Note this triggers when the *fetch* PC reaches the address --
+        before the instruction there has executed, like a hardware
+        breakpoint.
+        """
+        return self.run_until(
+            lambda sim: sim.state.pc == pc, max_cycles
+        )
+
+    @property
+    def cycles(self):
+        return self.engine.cycles
+
+    @property
+    def stats(self):
+        return SimulationStats(
+            cycles=self.engine.cycles,
+            instructions=self.engine.instructions_retired,
+        )
+
+    @property
+    def halted(self):
+        return self.control.halted and self.engine.drained

@@ -1,0 +1,81 @@
+"""Level-1 compiled simulation: compile-time decoding only.
+
+The whole program is decoded once, when it is loaded (the paper's first
+compiled-simulation step).  Operation sequencing still happens at
+run-time: on every fetch the per-stage schedule is rebuilt from the
+pre-decoded instruction and behaviours are AST-interpreted, though with
+decode-time variants cached (variant resolution is part of decoding).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.behavior.evaluator import EvalContext, execute_behavior
+from repro.coding.decoder import InstructionDecoder
+from repro.machine.driver import IssueSlot, Pipeline, trap_slot
+from repro.machine.schedule import build_schedule
+from repro.sim.base import Simulator
+from repro.machine.packets import packet_extent
+
+
+class PredecodedSimulator(Simulator):
+    kind = "predecoded"
+
+    def __init__(self, model):
+        super().__init__(model)
+        self._decoder = InstructionDecoder(model)
+        self._depth = model.pipeline.depth
+        self._pmem_name = model.config.program_memory
+        self._nodes = {}
+        self._extents = {}
+        self._ctx = None
+
+    def _build_engine(self, program):
+        # Compile-time decoding: one pass over the program image.
+        self._nodes = {}
+        self._extents = {}
+        self._ctx = EvalContext(
+            self.state, self.control, self.model, variant_cache={}
+        )
+        for segment in program.segments_in(self._pmem_name):
+            words = segment.words
+            base = segment.base
+            limit = base + len(words)
+
+            def read_word(address, _words=words, _base=base):
+                return _words[address - _base]
+
+            for offset, word in enumerate(words):
+                pc = base + offset
+                self._nodes[pc] = self._decoder.decode(word, address=pc)
+            for pc in range(base, limit):
+                self._extents[pc] = packet_extent(
+                    self.model, read_word, pc, limit
+                )
+        return Pipeline(self.model, self.state, self.control, self._fetch)
+
+    def _fetch(self, pc):
+        """Run-time operation sequencing over pre-decoded instructions."""
+        node = self._nodes.get(pc)
+        if node is None:
+            return trap_slot(
+                self.model,
+                "fetch outside the pre-decoded region (pc=0x%x)" % pc,
+            )
+        extent = self._extents[pc]
+        ctx = self._ctx
+        stages = [[] for _ in range(self._depth)]
+        for address in range(pc, pc + extent):
+            for item in build_schedule(self._nodes[address], self.model):
+                stages[item.stage].append(
+                    partial(
+                        execute_behavior, item.behavior.statements,
+                        item.node, ctx,
+                    )
+                )
+        return IssueSlot(
+            ops_by_stage=tuple(tuple(stage) for stage in stages),
+            words=extent,
+            insn_count=extent,
+        )

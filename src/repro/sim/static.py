@@ -1,0 +1,252 @@
+"""Static scheduling of the simulation table (paper Section 3).
+
+Dynamic scheduling selects the operations of the instructions
+overlapping in the pipeline at run-time, cycle by cycle.  *Static*
+scheduling performs that composition once per pipeline occupancy: for a
+window of issue addresses in flight, the cross-instruction *column* of
+the simulation table (the paper's Figure 3) is flattened into a single
+operation list -- or, at level 3, fused into one generated function
+(full simulation-loop unfolding).
+
+Implementation: pipeline occupancies are interned as *window nodes*.
+A node carries the composed column and a transition dictionary keyed by
+the next fetch address, so the steady-state loop body runs as
+
+    node = node.next[pc]; for fn in node.column: fn()
+
+with no per-cycle allocation, no table lookup and no per-stage
+scheduling -- the paper's "operations scheduled at compile time".
+
+Windows containing instructions that may raise pipeline-control
+requests (flush/stall/halt) are never composed statically, because
+same-cycle squash semantics require per-stage interleaving; those
+cycles fall back to the dynamic path, and a flush re-interns the
+squashed window.  PC redirection needs no special handling: the fetch
+address is read from the live PC, so delay-slot branches work inside
+static columns.
+"""
+
+from __future__ import annotations
+
+from repro.behavior.codegen import BehaviorCodegen
+from repro.sim.base import Simulator
+from repro.simcc.generator import generate_simulation_compiler
+from repro.support.errors import SimulationError
+
+
+class _WindowNode:
+    """One interned pipeline occupancy."""
+
+    __slots__ = ("pcs", "slots", "column", "retire_insns", "empty", "next")
+
+    def __init__(self, pcs, slots, column, retire_insns, empty):
+        self.pcs = pcs  # tuple of issue pcs (None = bubble), stage 0 first
+        self.slots = slots  # parallel tuple of IssueSlots / None
+        self.column = column  # flattened ops (oldest first) or None
+        self.retire_insns = retire_insns  # insn_count leaving on advance
+        self.empty = empty
+        self.next = {}  # incoming pc (or None) -> _WindowNode
+
+
+class StaticPipeline:
+    """Pipeline driver running statically scheduled columns."""
+
+    def __init__(self, model, state, control, table, column_compiler=None):
+        self._model = model
+        self._state = state
+        self._control = control
+        self._table = table
+        self._frontend = table.make_frontend(model)
+        self._column_compiler = column_compiler
+        self._pc_name = model.pc_name
+        self._depth = model.pipeline.depth
+        self._interned = {}
+        self._root = self._intern((None,) * self._depth, (None,) * self._depth)
+        self._node = self._root
+        self.cycles = 0
+        self.instructions_retired = 0
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    @property
+    def window(self):
+        """Current (pc, slot) window, youngest first (for inspection)."""
+        node = self._node
+        return [
+            None if pc is None else (pc, slot)
+            for pc, slot in zip(node.pcs, node.slots)
+        ]
+
+    @property
+    def drained(self):
+        return self._node.empty
+
+    def reset(self):
+        self._node = self._root
+        self.cycles = 0
+        self.instructions_retired = 0
+        self._control.reset()
+
+    # -- interning --------------------------------------------------------------
+
+    def _intern(self, pcs, slots):
+        node = self._interned.get(pcs)
+        if node is None:
+            node = _WindowNode(
+                pcs=pcs,
+                slots=slots,
+                column=self._compose_column(pcs, slots),
+                retire_insns=slots[-1].insn_count if slots[-1] else 0,
+                empty=all(pc is None for pc in pcs),
+            )
+            self._interned[pcs] = node
+        return node
+
+    def _advance_node(self, node, pc, slot):
+        """The interned node for ``node``'s window shifted by one fetch."""
+        next_node = node.next.get(pc)
+        if next_node is None:
+            pcs = (pc,) + node.pcs[:-1]
+            slots = (slot,) + node.slots[:-1]
+            next_node = self._intern(pcs, slots)
+            node.next[pc] = next_node
+        return next_node
+
+    def _compose_column(self, pcs, slots):
+        """Statically schedule one occupancy, or None if it contains
+        control-capable (or unknown/trap) instructions."""
+        has_control = self._table.has_control
+        for pc in pcs:
+            if pc is not None and has_control.get(pc, True):
+                return None
+        if self._column_compiler is not None:
+            compiled = self._column_compiler(pcs, slots)
+            if compiled is not None:
+                return compiled
+        ops = []
+        for stage in range(self._depth - 1, -1, -1):
+            slot = slots[stage]
+            if slot is not None:
+                ops.extend(slot.ops_by_stage[stage])
+        return tuple(ops)
+
+    # -- execution ----------------------------------------------------------------
+
+    def step(self):
+        control = self._control
+        node = self._node
+
+        # -- advance ------------------------------------------------------
+        self.instructions_retired += node.retire_insns
+        if control.halted:
+            next_node = self._advance_node(node, None, None)
+        elif control.stall_cycles > 0:
+            control.stall_cycles -= 1
+            next_node = self._advance_node(node, None, None)
+        else:
+            state = self._state
+            pc = getattr(state, self._pc_name)
+            next_node = node.next.get(pc)
+            if next_node is None:
+                slot = self._frontend(pc)
+                next_node = self._advance_node(node, pc, slot)
+            setattr(
+                state, self._pc_name, pc + next_node.slots[0].words
+            )
+
+        # -- execute ---------------------------------------------------------
+        column = next_node.column
+        if column is not None:
+            for fn in column:
+                fn()
+        else:
+            next_node = self._execute_dynamic(next_node, control)
+        self._node = next_node
+        self.cycles += 1
+
+    def _execute_dynamic(self, node, control):
+        """Per-stage execution with flush handling; returns the node for
+        the (possibly squashed) resulting window."""
+        slots = node.slots
+        squashed = None
+        for stage in range(self._depth - 1, -1, -1):
+            slot = slots[stage]
+            if slot is None:
+                continue
+            if stage < control.flush_below:
+                if squashed is None:
+                    squashed = list(node.pcs)
+                squashed[stage] = None
+                continue
+            ops = slot.ops_by_stage[stage]
+            if ops:
+                control.current_stage = stage
+                for fn in ops:
+                    fn()
+        control.flush_below = -1
+        if squashed is None:
+            return node
+        new_slots = tuple(
+            slot if pc is not None else None
+            for pc, slot in zip(squashed, node.slots)
+        )
+        return self._intern(tuple(squashed), new_slots)
+
+    def run(self, max_cycles=50_000_000):
+        start = self.cycles
+        while not (self._control.halted and self.drained):
+            if self.cycles - start >= max_cycles:
+                raise SimulationError(
+                    "simulation exceeded %d cycles without halting"
+                    % max_cycles
+                )
+            self.step()
+        return self.cycles - start
+
+
+class StaticScheduledSimulator(Simulator):
+    """Simulation-table simulator with static scheduling."""
+
+    def __init__(self, model, level="sequenced"):
+        super().__init__(model)
+        self._level = level
+        self._simcc = generate_simulation_compiler(model, validate=False)
+        self.table = None
+        self._column_counter = 0
+
+    @property
+    def kind(self):
+        if self._level == "sequenced":
+            return "static"
+        return "unfolded_static"
+
+    @property
+    def level(self):
+        return self._level
+
+    def _build_engine(self, program):
+        self.table = self._simcc.compile(
+            program, self.state, self.control, level=self._level
+        )
+        column_compiler = None
+        if self._level == "instantiated":
+            column_compiler = self._compile_column
+        return StaticPipeline(
+            self.model, self.state, self.control, self.table,
+            column_compiler=column_compiler,
+        )
+
+    def _compile_column(self, pcs, slots):
+        """Fuse a whole pipeline column into one generated function."""
+        items = []
+        table = self.table
+        for stage in range(self.model.pipeline.depth - 1, -1, -1):
+            if pcs[stage] is not None:
+                items.extend(table.items_by_stage[pcs[stage]][stage])
+        if not items:
+            return ()
+        codegen = BehaviorCodegen(self.model)
+        self._column_counter += 1
+        name = "column_%d" % self._column_counter
+        fn = codegen.compile_function(name, items, self.state, self.control)
+        return (fn,)

@@ -1,0 +1,28 @@
+"""The simulation-compiler generator and the simulation compiler.
+
+Mirrors the paper's Figure 5: the *generator* takes the model data base
+and produces a processor-specific *simulation compiler*; the simulation
+compiler translates target object code into a *simulation table* that
+drives the compiled simulator.
+
+Levels of compiled simulation (paper Section 3):
+
+* ``sequenced`` -- compile-time decoding **and** operation sequencing
+  (the two steps the paper implements): each program location gets a
+  pre-decoded, pre-scheduled issue slot whose micro-operations are
+  pre-bound behaviour executions.
+* ``instantiated`` -- additionally performs *operation instantiation*:
+  specialised Python code is generated per program instruction with
+  operand values folded in (the paper's announced third step).
+"""
+
+from repro.simcc.compiler import SimulationCompiler, SimulationTable
+from repro.simcc.generator import generate_simulation_compiler
+from repro.simcc.emit import emit_simulator_module
+
+__all__ = [
+    "SimulationCompiler",
+    "SimulationTable",
+    "generate_simulation_compiler",
+    "emit_simulator_module",
+]

@@ -1,0 +1,276 @@
+"""The simulation compiler: target object code -> simulation table.
+
+The simulation table (the paper's Figure 1) is two-dimensional: one
+dimension is the program locations of the target application, the other
+holds, per pipeline stage, the operations contributing to the transition
+function.  Building it performs, at simulation-compile time:
+
+1. instruction decoding (once per program word),
+2. decode-time IF/SWITCH variant resolution,
+3. operation sequencing (the per-stage micro-operation schedule),
+4. VLIW execute-packet formation,
+5. at level ``instantiated``, per-instruction Python code generation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.behavior import ast as bast
+from repro.behavior.codegen import BehaviorCodegen
+from repro.behavior.evaluator import EvalContext, execute_behavior
+from repro.behavior.runtime import CONTROL_INTRINSICS
+from repro.coding.decoder import InstructionDecoder
+from repro.machine.driver import IssueSlot
+from repro.machine.schedule import build_schedule
+from repro.machine.packets import packet_extent
+from repro.support.errors import ReproError, SimulationError
+
+LEVELS = ("sequenced", "instantiated")
+
+
+@dataclass
+class SimulationTable:
+    """The compiled image of one program for one (state, control) pair."""
+
+    level: str
+    slots: Dict[int, IssueSlot]
+    has_control: Dict[int, bool]
+    items_by_stage: Dict[int, Tuple[Tuple[object, ...], ...]]
+    instruction_count: int = 0
+    word_count: int = 0
+
+    def slot_at(self, pc):
+        slot = self.slots.get(pc)
+        if slot is None:
+            raise SimulationError(
+                "simulation table has no entry for address 0x%x -- the "
+                "program left the compiled region (compiled simulation "
+                "cannot execute self-modified or unknown code)" % pc
+            )
+        return slot
+
+    def make_frontend(self, model):
+        """A pipeline front-end over this table.
+
+        Unknown addresses yield trap slots instead of raising, so fetches
+        past a not-yet-executed halt/branch behave like on the
+        interpretive simulator (squashed before they execute).
+        """
+        from repro.machine.driver import trap_slot
+
+        slots = self.slots
+
+        def frontend(pc):
+            slot = slots.get(pc)
+            if slot is None:
+                return trap_slot(
+                    model,
+                    "fetch outside the compiled region (pc=0x%x)" % pc,
+                )
+            return slot
+
+        return frontend
+
+
+class SimulationCompiler:
+    """A processor-specific simulation compiler.
+
+    Instances are produced by
+    :func:`repro.simcc.generator.generate_simulation_compiler`; they are
+    bound to one machine model and can compile any number of programs.
+    """
+
+    def __init__(self, model):
+        self._model = model
+        self._decoder = InstructionDecoder(model)
+        self._depth = model.pipeline.depth
+
+    @property
+    def model(self):
+        return self._model
+
+    def compile(self, program, state, control, level="sequenced"):
+        """Compile ``program`` into a :class:`SimulationTable`.
+
+        The produced micro-operations are bound to ``state`` and
+        ``control``; the table is only valid for that pair (this is the
+        compiled-simulation trade-off: per-application, per-simulator
+        specialisation in exchange for run-time speed).
+        """
+        if level not in LEVELS:
+            raise ReproError(
+                "unknown simulation level %r (expected one of %s)"
+                % (level, ", ".join(LEVELS))
+            )
+        model = self._model
+        pmem_name = model.config.program_memory
+        segments = program.segments_in(pmem_name)
+        variant_cache = {}
+        ctx = EvalContext(state, control, model, variant_cache)
+        codegen = BehaviorCodegen(model, variant_cache)
+
+        slots = {}
+        has_control = {}
+        items_by_stage = {}
+        instruction_count = 0
+        word_count = 0
+
+        for segment in segments:
+            words = segment.words
+            word_count += len(words)
+            base = segment.base
+            limit = base + len(words)
+
+            def read_word(address, _words=words, _base=base):
+                return _words[address - _base]
+
+            # Step 1+2+3: decode and schedule every word once.
+            per_pc = {}
+            for offset, word in enumerate(words):
+                pc = base + offset
+                node = self._decoder.decode(word, address=pc)
+                schedule = build_schedule(node, model)
+                per_pc[pc] = self._stage_split(schedule)
+                instruction_count += 1
+
+            # Step 5 (level "instantiated"): specialise behaviours now.
+            if level == "instantiated":
+                bound = {
+                    pc: self._instantiate(pc, stages, codegen, state, control)
+                    for pc, stages in per_pc.items()
+                }
+            else:
+                bound = {
+                    pc: self._sequence(stages, ctx)
+                    for pc, stages in per_pc.items()
+                }
+
+            # Step 4: form execute packets for every possible entry pc.
+            for pc in range(base, limit):
+                extent = packet_extent(model, read_word, pc, limit)
+                members = range(pc, pc + extent)
+                ops_by_stage = tuple(
+                    tuple(
+                        itertools.chain.from_iterable(
+                            bound[member][stage] for member in members
+                        )
+                    )
+                    for stage in range(self._depth)
+                )
+                slots[pc] = IssueSlot(
+                    ops_by_stage=ops_by_stage,
+                    words=extent,
+                    insn_count=extent,
+                )
+                has_control[pc] = any(
+                    self._stages_have_control(per_pc[member], ctx)
+                    for member in members
+                )
+                items_by_stage[pc] = tuple(
+                    tuple(
+                        itertools.chain.from_iterable(
+                            per_pc[member][stage] for member in members
+                        )
+                    )
+                    for stage in range(self._depth)
+                )
+
+        return SimulationTable(
+            level=level,
+            slots=slots,
+            has_control=has_control,
+            items_by_stage=items_by_stage,
+            instruction_count=instruction_count,
+            word_count=word_count,
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _stage_split(self, schedule):
+        """Split a schedule into per-stage tuples of (node, behavior)."""
+        stages = [[] for _ in range(self._depth)]
+        for item in schedule:
+            stages[item.stage].append((item.node, item.behavior))
+        return tuple(tuple(stage) for stage in stages)
+
+    def _sequence(self, stages, ctx):
+        """Level 2 binding: pre-bound behaviour executions per stage."""
+        bound = []
+        for stage_items in stages:
+            fns = []
+            for node, behavior in stage_items:
+                fns.append(_BoundBehavior(behavior.statements, node, ctx))
+            bound.append(tuple(fns))
+        return tuple(bound)
+
+    def _instantiate(self, pc, stages, codegen, state, control):
+        """Level 3 binding: one generated function per occupied stage."""
+        bound = []
+        for stage, stage_items in enumerate(stages):
+            if not stage_items:
+                bound.append(())
+                continue
+            fn = codegen.compile_function(
+                "insn_%x_stage_%d" % (pc, stage), stage_items, state, control
+            )
+            bound.append((fn,))
+        return tuple(bound)
+
+    def _stages_have_control(self, stages, ctx):
+        return any(
+            _behavior_has_control(behavior.statements, node, ctx)
+            for stage_items in stages
+            for node, behavior in stage_items
+        )
+
+
+class _BoundBehavior:
+    """A pre-bound behaviour execution (level-2 micro-operation).
+
+    Equivalent to ``functools.partial(execute_behavior, ...)`` but also
+    carries its binding for inspection by tests and the emitter.
+    """
+
+    __slots__ = ("statements", "node", "ctx")
+
+    def __init__(self, statements, node, ctx):
+        self.statements = statements
+        self.node = node
+        self.ctx = ctx
+
+    def __call__(self):
+        execute_behavior(self.statements, self.node, self.ctx)
+
+
+def _behavior_has_control(statements, node, ctx, _depth=0):
+    """Whether behaviour statements may raise pipeline-control requests.
+
+    Used to keep control-capable instructions out of statically scheduled
+    columns (where same-cycle flush semantics could not be honoured).
+    Recurses into sub-operation invocations using the decoded context.
+    """
+    if _depth > 16:
+        return True  # pathological nesting: be conservative
+    for stmt in statements:
+        for node_ast in bast.walk(stmt):
+            if not isinstance(node_ast, bast.Call):
+                continue
+            if node_ast.name in CONTROL_INTRINSICS:
+                return True
+            # A call that is not an intrinsic is a sub-operation
+            # invocation; scan the selected child's behaviours.
+            child = node.children.get(node_ast.name)
+            if child is None and node_ast.name in node.operation.references:
+                kind, payload = node.lookup(node_ast.name)
+                child = payload if kind == "child" else None
+            if child is not None:
+                variant = ctx.variant_of(child)
+                for behavior in variant.behaviors:
+                    if _behavior_has_control(
+                        behavior.statements, child, ctx, _depth + 1
+                    ):
+                        return True
+    return False

@@ -1,0 +1,46 @@
+"""The simulation-compiler generator.
+
+In the paper this step emits C++ source for a processor-specific
+simulation compiler.  Here the "generation" step specialises and
+validates a :class:`repro.simcc.compiler.SimulationCompiler` for the
+model: it pre-computes coding layouts, exercises the decoder over every
+reachable operation variant, and verifies that every behaviour can be
+code-generated -- so that simulation compilation itself can never fail
+on a legal program.  (A textual artefact can still be produced with
+:func:`repro.simcc.emit.emit_simulator_module`.)
+"""
+
+from __future__ import annotations
+
+from repro.coding.layout import layout_of
+from repro.simcc.compiler import SimulationCompiler
+from repro.support.errors import ReproError
+
+
+def generate_simulation_compiler(model, validate=True):
+    """Generate the processor-specific simulation compiler for ``model``."""
+    if validate:
+        _validate_codings(model)
+    return SimulationCompiler(model)
+
+
+def _validate_codings(model):
+    """Force layout computation for every coded operation.
+
+    This is the part of "generating the simulation compiler" that can
+    fail: inconsistent codings surface here, at generation time, rather
+    than during simulation compilation of some unlucky program.
+    """
+    problems = []
+    for operation in model.operations.values():
+        if not operation.has_coding:
+            continue
+        try:
+            layout_of(operation)
+        except ReproError as exc:  # collect all problems, report together
+            problems.append("%s: %s" % (operation.name, exc))
+    if problems:
+        raise ReproError(
+            "cannot generate simulation compiler for model %r:\n  %s"
+            % (model.name, "\n  ".join(problems))
+        )

@@ -1,0 +1,49 @@
+"""Shared low-level support code: bit manipulation, diagnostics, errors."""
+
+from repro.support.bitutils import (
+    BitPattern,
+    bit_length_for,
+    extract_field,
+    insert_field,
+    mask,
+    saturate_signed,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+from repro.support.diagnostics import Diagnostic, DiagnosticSink, SourceLocation
+from repro.support.errors import (
+    AssemblerError,
+    BehaviorError,
+    CodingError,
+    DecodeError,
+    LisaError,
+    LisaSemanticError,
+    LisaSyntaxError,
+    ReproError,
+    SimulationError,
+)
+
+__all__ = [
+    "BitPattern",
+    "bit_length_for",
+    "extract_field",
+    "insert_field",
+    "mask",
+    "saturate_signed",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+    "Diagnostic",
+    "DiagnosticSink",
+    "SourceLocation",
+    "ReproError",
+    "LisaError",
+    "LisaSyntaxError",
+    "LisaSemanticError",
+    "BehaviorError",
+    "CodingError",
+    "DecodeError",
+    "AssemblerError",
+    "SimulationError",
+]

@@ -1,0 +1,63 @@
+"""Source locations and diagnostic collection for the language front-ends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position inside a LISA or assembly source text."""
+
+    filename: str
+    line: int
+    column: int
+
+    def __str__(self):
+        return "%s:%d:%d" % (self.filename, self.line, self.column)
+
+
+UNKNOWN_LOCATION = SourceLocation("<unknown>", 0, 0)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """A single warning or note produced during model compilation."""
+
+    severity: str  # "warning" or "note"
+    message: str
+    location: SourceLocation = UNKNOWN_LOCATION
+
+    def __str__(self):
+        return "%s: %s: %s" % (self.location, self.severity, self.message)
+
+
+@dataclass
+class DiagnosticSink:
+    """Collects non-fatal diagnostics emitted by the LISA compiler.
+
+    Fatal problems raise exceptions; this sink exists so that the compiler
+    can point out suspicious-but-legal constructs (unused operations,
+    coding fields that shadow resources, ...) without aborting.
+    """
+
+    diagnostics: list = field(default_factory=list)
+
+    def warn(self, message, location=UNKNOWN_LOCATION):
+        self.diagnostics.append(Diagnostic("warning", message, location))
+
+    def note(self, message, location=UNKNOWN_LOCATION):
+        self.diagnostics.append(Diagnostic("note", message, location))
+
+    @property
+    def warnings(self):
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    def extend(self, other):
+        self.diagnostics.extend(other.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self):
+        return len(self.diagnostics)

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this package derive from
+:class:`ReproError`, so callers can catch package errors without also
+swallowing programming mistakes (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every intentional error raised by this package."""
+
+    def __init__(self, message, location=None):
+        self.message = message
+        self.location = location
+        super().__init__(self._format())
+
+    def _format(self):
+        if self.location is not None:
+            return "%s: %s" % (self.location, self.message)
+        return str(self.message)
+
+
+class LisaError(ReproError):
+    """Base class for errors in LISA model processing."""
+
+
+class LisaSyntaxError(LisaError):
+    """Lexical or syntactic error in a LISA description."""
+
+
+class LisaSemanticError(LisaError):
+    """The LISA description parsed but is not a valid machine model."""
+
+
+class BehaviorError(LisaError):
+    """Error in a BEHAVIOR/EXPRESSION section (parse or compile time)."""
+
+
+class CodingError(LisaError):
+    """Inconsistent instruction coding (overlaps, width mismatches...)."""
+
+
+class DecodeError(ReproError):
+    """An instruction word does not match any coding in the model."""
+
+    def __init__(self, message, word=None, address=None):
+        self.word = word
+        self.address = address
+        if word is not None:
+            message = "%s (word=0x%x%s)" % (
+                message,
+                word,
+                "" if address is None else ", address=0x%x" % address,
+            )
+        super().__init__(message)
+
+
+class AssemblerError(ReproError):
+    """Error while assembling or disassembling a target program."""
+
+
+class LinkError(ReproError):
+    """Error while linking/relocating object files."""
+
+
+class SimulationError(ReproError):
+    """Run-time error inside a simulator (bad memory access, deadlock...)."""

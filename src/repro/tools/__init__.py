@@ -1,0 +1,12 @@
+"""Generated target tools: assembler, disassembler, object files, loader.
+
+These are the retargetable "software development tools" that a machine
+description buys you (the paper's motivation for language-based
+approaches): all of them are driven purely by the model data base.
+"""
+
+from repro.tools.objfile import Program, Segment
+from repro.tools.asm import Assembler
+from repro.tools.disasm import Disassembler
+
+__all__ = ["Program", "Segment", "Assembler", "Disassembler"]

@@ -1,0 +1,125 @@
+"""Retargetable disassembler, generated from the model data base.
+
+Rendering uses the SYNTAX of the decode-time-selected variant of every
+operation, so non-orthogonal codings disassemble to the mnemonic that
+actually matches the mode bits.  ``assemble(disassemble(w)) == w`` is a
+property-based test invariant for every shipped model.
+"""
+
+from __future__ import annotations
+
+from repro.coding.decoder import InstructionDecoder
+from repro.lisa import model as m
+from repro.support.errors import AssemblerError, DecodeError
+
+
+class Disassembler:
+    """Renders decoded instructions back to assembly text."""
+
+    def __init__(self, model):
+        self._model = model
+        self._decoder = InstructionDecoder(model)
+
+    def disassemble_word(self, word, address=None):
+        """Disassemble one instruction word to text."""
+        node = self._decoder.decode(word, address=address)
+        return self.render(node)
+
+    def disassemble_program(self, program, with_addresses=True):
+        """Disassemble all program-memory segments; yields text lines."""
+        pmem = self._model.config.program_memory
+        pbit = None
+        if self._model.is_vliw:
+            pbit = 1 << self._model.config.parallel_bit
+        lines = []
+        for segment in program.segments_in(pmem):
+            previous_parallel = False
+            for offset, word in enumerate(segment.words):
+                address = segment.base + offset
+                try:
+                    text = self.disassemble_word(word, address=address)
+                except DecodeError:
+                    text = ".word 0x%x" % word
+                prefix = "|| " if previous_parallel else "   "
+                if with_addresses:
+                    lines.append("%06x: %s%s" % (address, prefix, text))
+                else:
+                    lines.append(prefix + text)
+                previous_parallel = bool(pbit and (word & pbit))
+        return lines
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render(self, node):
+        """Render one decoded node using its variant's SYNTAX."""
+        parts = self._render_parts(node)
+        return _join_parts(parts)
+
+    def _render_parts(self, node):
+        variant = node.variant(self._model)
+        syntax = variant.syntax
+        if syntax is None:
+            # No SYNTAX anywhere (behaviour-only helper): not renderable.
+            raise AssemblerError(
+                "operation %r has no SYNTAX to disassemble"
+                % node.operation.name
+            )
+        parts = []
+        for element in syntax.elements:
+            if isinstance(element, m.SyntaxLiteral):
+                parts.append(("lit", element.text))
+            else:
+                parts.extend(self._render_ref(node, element.name))
+        return parts
+
+    def _render_ref(self, node, name):
+        if name in node.fields:
+            return [("val", str(node.fields[name]))]
+        if name in node.children:
+            return self._render_parts(node.children[name])
+        if name in node.operation.references:
+            kind, payload = node.lookup(name)
+            if kind == "label":
+                return [("val", str(payload))]
+            return self._render_parts(payload)
+        raise AssemblerError(
+            "SYNTAX of %r references unknown %r" % (node.operation.name, name)
+        )
+
+
+def _join_parts(parts):
+    """Assemble (kind, text) parts with canonical spacing.
+
+    Rules (the dual of the assembler's matcher):
+
+    * a literal ending in a letter immediately followed by a value fuses
+      with it (``"r" + "3"`` -> ``r3``) -- except the leading mnemonic;
+    * ``,`` and the postfix modifiers ``+``/``-`` attach to the previous
+      part;
+    * the prefix sigils ``*``, ``@`` and ``#`` attach to the next part;
+    * everything else is separated by single spaces.
+    """
+    out = []
+    for index, (kind, text) in enumerate(parts):
+        if index == 0:
+            out.append(text)
+            continue
+        previous_kind, previous_text = parts[index - 1]
+        if kind == "lit" and text in (",", "+", "-"):
+            out.append(text)
+            continue
+        if previous_kind == "lit" and previous_text in ("*", "@", "#"):
+            out.append(text)
+            continue
+        if (
+            kind == "val"
+            and previous_kind == "lit"
+            and index >= 2  # never fuse with the mnemonic
+            and previous_text
+            and previous_text[-1].isalpha()
+            and previous_text != ","
+        ):
+            out.append(text)
+            continue
+        out.append(" " + text)
+    return "".join(out)

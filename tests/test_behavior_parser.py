@@ -1,0 +1,196 @@
+"""Tests for the behaviour-language parser."""
+
+import pytest
+
+from repro.behavior import ast
+from repro.behavior.parser import parse_expression, parse_statements
+from repro.lisa.lexer import tokenize
+from repro.support.errors import BehaviorError
+
+
+def toks(source):
+    return [t for t in tokenize(source) if t.kind != "eof"]
+
+
+def expr(source):
+    return parse_expression(toks(source))
+
+
+def stmts(source):
+    return parse_statements(toks(source))
+
+
+class TestExpressions:
+    def test_integer_literal(self):
+        node = expr("42")
+        assert isinstance(node, ast.IntLit)
+        assert node.value == 42
+
+    def test_name(self):
+        node = expr("foo")
+        assert isinstance(node, ast.Name)
+        assert node.name == "foo"
+
+    def test_index(self):
+        node = expr("R[3]")
+        assert isinstance(node, ast.Index)
+        assert node.base == "R"
+        assert isinstance(node.index, ast.IntLit)
+
+    def test_call(self):
+        node = expr("sext(x, 8)")
+        assert isinstance(node, ast.Call)
+        assert node.name == "sext"
+        assert len(node.args) == 2
+
+    def test_call_no_args(self):
+        node = expr("flush()")
+        assert node.args == ()
+
+    def test_precedence_mul_over_add(self):
+        node = expr("a + b * c")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        node = expr("a << b + c")
+        assert node.op == "<<"
+        assert node.right.op == "+"
+
+    def test_precedence_comparison_below_shift(self):
+        node = expr("a < b << c")
+        assert node.op == "<"
+
+    def test_precedence_logical(self):
+        node = expr("a || b && c")
+        assert node.op == "||"
+        assert node.right.op == "&&"
+
+    def test_bitwise_levels(self):
+        node = expr("a | b ^ c & d")
+        assert node.op == "|"
+        assert node.right.op == "^"
+        assert node.right.right.op == "&"
+
+    def test_left_associativity(self):
+        node = expr("a - b - c")
+        assert node.op == "-"
+        assert node.left.op == "-"
+
+    def test_parentheses_override(self):
+        node = expr("(a + b) * c")
+        assert node.op == "*"
+        assert node.left.op == "+"
+
+    def test_unary_operators(self):
+        assert expr("-x").op == "-"
+        assert expr("~x").op == "~"
+        assert expr("!x").op == "!"
+        # Unary plus is a no-op.
+        assert isinstance(expr("+x"), ast.Name)
+
+    def test_nested_unary(self):
+        node = expr("--x")
+        assert node.op == "-"
+        assert node.operand.op == "-"
+
+    def test_ternary(self):
+        node = expr("a ? b : c")
+        assert isinstance(node, ast.Ternary)
+
+    def test_ternary_right_associative(self):
+        node = expr("a ? b : c ? d : e")
+        assert isinstance(node.if_false, ast.Ternary)
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(BehaviorError):
+            expr("a b")
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(BehaviorError):
+            expr("")
+
+
+class TestStatements:
+    def test_simple_assignment(self):
+        (node,) = stmts("x = 1;")
+        assert isinstance(node, ast.Assign)
+        assert node.op == "="
+
+    def test_compound_assignments(self):
+        for op in ("+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+                   "<<=", ">>="):
+            (node,) = stmts("x %s 2;" % op)
+            assert node.op == op
+
+    def test_indexed_assignment(self):
+        (node,) = stmts("mem[a + 1] = v;")
+        assert isinstance(node.target, ast.Index)
+
+    def test_assignment_target_must_be_lvalue(self):
+        with pytest.raises(BehaviorError):
+            stmts("(a + b) = 1;")
+
+    def test_expression_statement(self):
+        (node,) = stmts("flush();")
+        assert isinstance(node, ast.ExprStmt)
+
+    def test_local_declaration(self):
+        (node,) = stmts("int x = 5;")
+        assert isinstance(node, ast.LocalDecl)
+        assert node.type_name == "int"
+        assert node.name == "x"
+
+    def test_local_declaration_without_init(self):
+        (node,) = stmts("uint y;")
+        assert node.init is None
+
+    def test_if_without_else(self):
+        (node,) = stmts("IF (a) { x = 1; }")
+        assert isinstance(node, ast.If)
+        assert node.else_body == ()
+
+    def test_if_else(self):
+        (node,) = stmts("if (a) { x = 1; } else { x = 2; }")
+        assert len(node.else_body) == 1
+
+    def test_if_else_if_chain(self):
+        (node,) = stmts("IF (a) { x = 1; } ELSE IF (b) { x = 2; }")
+        assert isinstance(node.else_body[0], ast.If)
+
+    def test_single_statement_body(self):
+        (node,) = stmts("IF (a) x = 1;")
+        assert len(node.then_body) == 1
+
+    def test_while(self):
+        (node,) = stmts("WHILE (n) { n = n - 1; }")
+        assert isinstance(node, ast.While)
+
+    def test_block_statement(self):
+        (node,) = stmts("{ x = 1; y = 2; }")
+        assert isinstance(node, ast.Block)
+        assert len(node.body) == 2
+
+    def test_multiple_statements(self):
+        nodes = stmts("x = 1; y = 2; z = x + y;")
+        assert len(nodes) == 3
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(BehaviorError):
+            stmts("x = 1")
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(BehaviorError):
+            stmts("{ x = 1;")
+
+
+class TestAstHelpers:
+    def test_referenced_names(self):
+        nodes = stmts("dst = src1 + R[idx]; IF (m) { flush(); }")
+        names = ast.referenced_names(nodes)
+        assert names == {"dst", "src1", "R", "idx", "m", "flush"}
+
+    def test_walk_reaches_nested_nodes(self):
+        (node,) = stmts("IF (a) { x = b ? c : d; }")
+        names = {n.name for n in ast.walk(node) if isinstance(n, ast.Name)}
+        assert names == {"a", "x", "b", "c", "d"}

@@ -1,0 +1,337 @@
+"""Tests for HW/SW co-simulation (the paper's named future work)."""
+
+import pytest
+
+from repro.cosim import (
+    CoSimulation,
+    Component,
+    DmaEngine,
+    ProcessorComponent,
+    RingBuffer,
+    StreamSink,
+    StreamSource,
+)
+from repro.sim import create_simulator
+from repro.support.errors import SimulationError
+
+# A tinydsp stream-processing program: read samples from an input ring
+# fed by hardware, double them, write them to an output ring drained by
+# hardware.  Exercises busy-waiting on device-updated cells in both
+# directions (data available / space available).
+STREAM_PROGRAM = """
+        .entry start
+        .equ INB, 0
+        .equ INHEAD, 16
+        .equ INTAIL, 17
+        .equ OUTB, 32
+        .equ OUTHEAD, 48
+        .equ OUTTAIL, 49
+        .equ COUNT, 12
+
+start:  ldi r0, 1
+        ldi r6, 7          ; ring mask (length 8)
+        ldi r5, COUNT
+main:
+win:    ld r1, INHEAD      ; wait until input ring non-empty
+        ld r2, INTAIL
+        sub r1, r1, r2
+        brnz r1, got
+        br win
+got:    ldi r3, INB        ; read dmem[INB + tail]
+        add r3, r3, r2
+        ld r3, *3
+        add r3, r3, r3     ; the "signal processing": y = 2x
+        add r2, r2, r0     ; input tail = (tail + 1) & 7
+        and r2, r2, r6
+        st r2, INTAIL
+wout:   ld r1, OUTHEAD     ; wait until output ring has space
+        add r1, r1, r0
+        and r1, r1, r6
+        ld r2, OUTTAIL
+        sub r4, r1, r2
+        brnz r4, space
+        br wout
+space:  ld r2, OUTHEAD     ; write dmem[OUTB + head]
+        ldi r4, OUTB
+        add r4, r4, r2
+        st r3, *4
+        add r2, r2, r0     ; output head = (head + 1) & 7
+        and r2, r2, r6
+        st r2, OUTHEAD
+        sub r5, r5, r0
+        brnz r5, main
+        halt
+"""
+
+SAMPLES = [3, -1, 7, 10, -8, 2, 5, 5, 9, -4, 0, 6]
+
+# DSP requests a 5-word copy from a DMA engine, busy-waits on the
+# doorbell, then checksums the copied block.
+DMA_PROGRAM = """
+        .entry start
+        .equ CMD, 56
+        .section dmem
+        .org 64
+        .word 11, 22, 33, 44, 55
+        .section pmem
+start:  ldi r1, 64
+        st r1, CMD + 1     ; source
+        ldi r1, 80
+        st r1, CMD + 2     ; destination
+        ldi r1, 5
+        st r1, CMD + 3     ; word count
+        ldi r1, 1
+        st r1, CMD         ; ring the doorbell
+wait:   ld r1, CMD
+        brnz r1, wait      ; poll until the engine clears it
+        ldi r2, 80         ; checksum the copied block
+        ldi r3, 0
+        ldi r4, 5
+        ldi r0, 1
+sum:    ld r1, *2
+        add r3, r3, r1
+        add r2, r2, r0
+        sub r4, r4, r0
+        brnz r4, sum
+        st r3, 100
+        halt
+"""
+
+
+def build_stream_cosim(tinydsp, tinydsp_tools, kind):
+    program = tinydsp_tools.assembler.assemble_text(STREAM_PROGRAM)
+    simulator = create_simulator(tinydsp, kind)
+    simulator.load_program(program)
+    cosim = CoSimulation()
+    cosim.add_processor(simulator)
+    in_ring = RingBuffer("dmem", base=0, length=8, head=16, tail=17)
+    out_ring = RingBuffer("dmem", base=32, length=8, head=48, tail=49)
+    source = cosim.add(StreamSource(simulator.state, in_ring, SAMPLES))
+    sink = cosim.add(
+        StreamSink(simulator.state, out_ring, expect=len(SAMPLES))
+    )
+    return cosim, simulator, source, sink
+
+
+class TestStreamCoSim:
+    def test_end_to_end_stream(self, tinydsp, tinydsp_tools):
+        cosim, simulator, source, sink = build_stream_cosim(
+            tinydsp, tinydsp_tools, "compiled"
+        )
+        cosim.run(max_cycles=100_000)
+        assert sink.received == [2 * s for s in SAMPLES]
+        assert source.delivered == len(SAMPLES)
+        assert simulator.halted
+
+    def test_backpressure_with_slow_source(self, tinydsp, tinydsp_tools):
+        program = tinydsp_tools.assembler.assemble_text(STREAM_PROGRAM)
+        simulator = create_simulator(tinydsp, "compiled")
+        simulator.load_program(program)
+        cosim = CoSimulation()
+        cosim.add_processor(simulator)
+        in_ring = RingBuffer("dmem", base=0, length=8, head=16, tail=17)
+        out_ring = RingBuffer("dmem", base=32, length=8, head=48, tail=49)
+
+        class TricklingSource(StreamSource):
+            """Delivers one sample every 40 cycles."""
+
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self._tick = 0
+
+            def step(self):
+                self._tick += 1
+                if self._tick % 40 == 0:
+                    super().step()
+
+        cosim.add(TricklingSource(simulator.state, in_ring, SAMPLES))
+        sink = cosim.add(
+            StreamSink(simulator.state, out_ring, expect=len(SAMPLES))
+        )
+        cycles = cosim.run(max_cycles=200_000)
+        assert sink.received == [2 * s for s in SAMPLES]
+        # The DSP spent most of its time waiting on the slow device.
+        assert cycles >= 40 * len(SAMPLES)
+
+    @pytest.mark.parametrize("kind", ["interpretive", "compiled", "static",
+                                      "unfolded"])
+    def test_cosim_identical_across_levels(self, tinydsp, tinydsp_tools,
+                                           kind):
+        """The accuracy claim extended across the HW/SW boundary."""
+        reference, *_ = _run_stream(tinydsp, tinydsp_tools, "compiled")
+        candidate, *_ = _run_stream(tinydsp, tinydsp_tools, kind)
+        assert candidate == reference
+
+
+def _run_stream(tinydsp, tinydsp_tools, kind):
+    cosim, simulator, source, sink = build_stream_cosim(
+        tinydsp, tinydsp_tools, kind
+    )
+    cycles = cosim.run(max_cycles=100_000)
+    return (cycles, sink.received, simulator.state.snapshot()), cosim
+
+
+class TestDmaCoSim:
+    def test_copy_and_checksum(self, tinydsp, tinydsp_tools):
+        program = tinydsp_tools.assembler.assemble_text(DMA_PROGRAM)
+        simulator = create_simulator(tinydsp, "compiled")
+        simulator.load_program(program)
+        cosim = CoSimulation()
+        cosim.add_processor(simulator)
+        dma = cosim.add(
+            DmaEngine(simulator.state, "dmem", cmd=56, bandwidth=1)
+        )
+        cosim.run(max_cycles=50_000)
+        assert simulator.state.dmem[80:85] == [11, 22, 33, 44, 55]
+        assert simulator.state.dmem[100] == 11 + 22 + 33 + 44 + 55
+        assert dma.transfers == 1
+
+    def test_bandwidth_changes_latency_not_result(self, tinydsp,
+                                                  tinydsp_tools):
+        cycles = {}
+        for bandwidth in (1, 5):
+            program = tinydsp_tools.assembler.assemble_text(DMA_PROGRAM)
+            simulator = create_simulator(tinydsp, "compiled")
+            simulator.load_program(program)
+            cosim = CoSimulation()
+            cosim.add_processor(simulator)
+            cosim.add(
+                DmaEngine(simulator.state, "dmem", cmd=56,
+                          bandwidth=bandwidth)
+            )
+            cycles[bandwidth] = cosim.run(max_cycles=50_000)
+            assert simulator.state.dmem[100] == 165
+        assert cycles[5] <= cycles[1]
+
+
+class TestKernel:
+    def test_empty_cosim_rejected(self):
+        with pytest.raises(SimulationError):
+            CoSimulation().run()
+
+    def test_non_component_rejected(self):
+        with pytest.raises(SimulationError):
+            CoSimulation().add(object())
+
+    def test_runaway_detected(self, tinydsp, tinydsp_tools):
+        # A DSP waiting forever on a device nobody services.
+        program = tinydsp_tools.assembler.assemble_text("""
+wait:   ld r1, 10
+        brnz r1, done
+        br wait
+done:   halt
+""")
+        simulator = create_simulator(tinydsp, "compiled")
+        simulator.load_program(program)
+        cosim = CoSimulation()
+        cosim.add_processor(simulator)
+        with pytest.raises(SimulationError):
+            cosim.run(max_cycles=1000)
+
+    def test_processor_component_reports_finished(self, tinydsp,
+                                                  tinydsp_tools):
+        program = tinydsp_tools.assembler.assemble_text("halt")
+        simulator = create_simulator(tinydsp, "compiled")
+        simulator.load_program(program)
+        component = ProcessorComponent(simulator)
+        assert not component.finished()
+        cosim = CoSimulation()
+        cosim.add(component)
+        cosim.run()
+        assert component.finished()
+
+    def test_custom_component(self):
+        class Counter(Component):
+            def __init__(self):
+                self.ticks = 0
+
+            def step(self):
+                self.ticks += 1
+
+            def finished(self):
+                return self.ticks >= 3
+
+        counter = Counter()
+        cosim = CoSimulation()
+        cosim.add(counter)
+        cosim.run()
+        assert counter.ticks == 3
+
+    def test_ring_buffer_validation(self):
+        with pytest.raises(SimulationError):
+            RingBuffer("dmem", base=0, length=1, head=8, tail=9)
+
+
+class TestDualProcessorCoSim:
+    """Two DSPs coupled by a hardware link that copies a mailbox cell
+    from one data memory to the other -- a minimal multiprocessor."""
+
+    PRODUCER = """
+        .entry start
+start:  ldi r0, 1
+        ldi r5, 5          ; messages to send
+        ldi r3, 10         ; payload seed
+loop:   ld r1, 0           ; wait until mailbox empty (0)
+        brnz r1, loop
+        st r3, 1           ; payload
+        st r0, 0           ; flag: message ready
+        add r3, r3, r3     ; next payload
+        sub r5, r5, r0
+        brnz r5, loop
+fin:    ld r1, 0           ; wait for last message to drain
+        brnz r1, fin
+        halt
+"""
+
+    CONSUMER = """
+        .entry start
+start:  ldi r0, 1
+        ldi r5, 5
+        ldi r6, 32         ; output pointer
+loop:   ld r1, 0           ; wait for delivery flag
+        brnz r1, have
+        br loop
+have:   ld r2, 1           ; payload
+        st r2, *6
+        add r6, r6, r0
+        ldi r1, 0
+        st r1, 0           ; acknowledge
+        sub r5, r5, r0
+        brnz r5, loop
+        halt
+"""
+
+    class Link(Component):
+        """Copies (flag, payload) producer->consumer and the
+        acknowledgement back, one transfer per cycle."""
+
+        def __init__(self, producer_state, consumer_state):
+            self.p = producer_state
+            self.c = consumer_state
+
+        def step(self):
+            # Deliver: producer flagged and consumer mailbox free.
+            if self.p.dmem[0] == 1 and self.c.dmem[0] == 0:
+                self.c.dmem[1] = self.p.dmem[1]
+                self.c.dmem[0] = 1
+                self.p.dmem[0] = 2  # in flight
+            # Acknowledge: consumer cleared its flag.
+            if self.p.dmem[0] == 2 and self.c.dmem[0] == 0:
+                self.p.dmem[0] = 0
+
+    def test_message_passing(self, tinydsp, tinydsp_tools):
+        producer = create_simulator(tinydsp, "compiled")
+        producer.load_program(
+            tinydsp_tools.assembler.assemble_text(self.PRODUCER)
+        )
+        consumer = create_simulator(tinydsp, "unfolded")
+        consumer.load_program(
+            tinydsp_tools.assembler.assemble_text(self.CONSUMER)
+        )
+        cosim = CoSimulation()
+        cosim.add_processor(producer, "producer")
+        cosim.add_processor(consumer, "consumer")
+        cosim.add(self.Link(producer.state, consumer.state))
+        cosim.run(max_cycles=100_000)
+        assert consumer.state.dmem[32:37] == [10, 20, 40, 80, 160]
+        assert producer.halted and consumer.halted

@@ -1,0 +1,85 @@
+"""Tests for the model data-base serialisation."""
+
+import json
+
+import pytest
+
+from repro.lisa.database import model_to_dict, model_to_json
+
+
+@pytest.fixture(scope="module")
+def db(testmodel):
+    return model_to_dict(testmodel)
+
+
+class TestModelDump:
+    def test_json_round_trips(self, testmodel):
+        text = model_to_json(testmodel)
+        assert json.loads(text)["name"] == "testmodel"
+
+    def test_resources_described(self, db):
+        registers = {r["name"]: r for r in db["registers"]}
+        assert registers["R"]["count"] == 8
+        assert registers["R"]["width"] == 32
+        assert registers["ACC"]["count"] is None
+        assert registers["ACC"]["width"] == 16
+        memories = {mem["name"]: mem for mem in db["memories"]}
+        assert memories["pmem"]["size"] == 256
+        assert db["pc"] == "PC"
+
+    def test_pipeline_and_config(self, db):
+        assert db["pipeline"]["stages"] == ["FE", "DE", "EX", "WB"]
+        assert db["config"]["word_size"] == 16
+        assert db["config"]["root_operation"] == "insn"
+        assert db["config"]["defines"] == {"SHORT": 0, "LONG": 1}
+
+    def test_coding_rendered(self, db):
+        ops = {op["name"]: op for op in db["operations"]}
+        ldi = ops["ldi"]
+        assert ldi["coding"] == [
+            {"pattern": "0b0010"},
+            {"slot": "dst", "width": 3},
+            {"label": "imm", "width": 8},
+        ]
+        assert ldi["coding_width"] == 15
+
+    def test_guarded_operation_summary(self, db):
+        add = {op["name"]: op for op in db["operations"]}["add"]
+        assert add["sections"]["guarded"]
+        assert add["sections"]["behavior_variants"] == 2
+        texts = {v["text"] for v in add["syntax_variants"]}
+        assert any('"add"' in t for t in texts)
+        assert any('"addl"' in t for t in texts)
+        bindings = {
+            v["text"].split()[0]: v["bindings"]
+            for v in add["syntax_variants"]
+        }
+        assert bindings['"add"'] == {"mode": 0}
+        assert bindings['"addl"'] == {"mode": 1}
+
+    def test_written_names_collected(self, db):
+        ops = {op["name"]: op for op in db["operations"]}
+        assert "dmem" in ops["st"]["sections"]["written_names"]
+        assert "ACC" in ops["note_store"]["sections"]["written_names"]
+        assert ops["st"]["sections"]["activates"] == ["note_store"]
+
+    def test_helper_without_coding(self, db):
+        note = {op["name"]: op for op in db["operations"]}["note_store"]
+        assert note["coding"] is None
+        assert note["references"] == ["addr"]
+
+    def test_cli_dump(self, capsys):
+        from repro.cli import lisa_main
+
+        assert lisa_main(["tinydsp", "--dump-db"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "tinydsp"
+        assert data["config"]["word_size"] == 16
+
+    def test_all_shipped_models_dump(self):
+        from repro.models import MODEL_REGISTRY, load_model
+
+        for name in MODEL_REGISTRY:
+            data = model_to_dict(load_model(name))
+            assert data["operations"], name
+            json.dumps(data)  # must be serialisable

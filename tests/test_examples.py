@@ -1,0 +1,47 @@
+"""Every shipped example must run to completion (they self-verify)."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+EXAMPLES = [
+    "quickstart.py",
+    "retarget_new_dsp.py",
+    "adpcm_codec.py",
+    "pipeline_trace.py",
+    "emit_standalone_simulator.py",
+    "fir_on_c62x.py",
+    "cosim_stream.py",
+    "kernel_compiler.py",
+]
+
+
+def load_module(filename):
+    path = os.path.join(EXAMPLES_DIR, filename)
+    name = "example_" + filename[:-3]
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("filename", EXAMPLES)
+def test_example_runs(filename, capsys):
+    module = load_module(filename)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), "example produced no output"
+
+
+def test_examples_list_is_complete():
+    on_disk = sorted(
+        f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+    )
+    assert on_disk == sorted(EXAMPLES)

@@ -1,0 +1,269 @@
+"""Tests for the retargetable kernel compiler.
+
+Every compiled kernel is run on the real simulator stack (assembler ->
+compiled simulator) and the resulting data memory is compared against
+the independent reference interpreter -- compiler, assembler, decoder,
+scheduler and simulator all have to agree for these to pass.
+"""
+
+import pytest
+
+from repro.api import build_toolset
+from repro.kcc import compile_kernel, evaluate_kernel, parse_kernel
+from repro.kcc.frontend import KernelError
+from repro.models import load_model
+from repro.sim import create_simulator
+
+SCALE_KERNEL = """
+array x[8] @ 0;
+array y[8] @ 8;
+int i = 0;
+int t;
+while (i != 8) {
+    t = x[i] * 3;
+    y[i] = t + 100;
+    i = i + 1;
+}
+"""
+
+FIB_KERNEL = """
+array out[10] @ 16;
+int a = 0;
+int b = 1;
+int i = 0;
+int t;
+while (i != 10) {
+    out[i] = a;
+    t = a + b;
+    a = b;
+    b = t;
+    i = i + 1;
+}
+"""
+
+BRANCHY_KERNEL = """
+array x[6] @ 0;
+array y[6] @ 8;
+int i = 0;
+int v;
+while (i != 6) {
+    v = x[i];
+    if (v & 1) {
+        y[i] = v + v;
+    } else {
+        y[i] = 0 - v;
+    }
+    i = i + 1;
+}
+"""
+
+NESTED_KERNEL = """
+array table[16] @ 32;
+int i = 0;
+int j;
+int idx = 0;
+while (i != 4) {
+    j = 0;
+    while (j != 4) {
+        table[idx] = (i + 1) * (j + 1);
+        idx = idx + 1;
+        j = j + 1;
+    }
+    i = i + 1;
+}
+"""
+
+C62X_COMPARE_KERNEL = """
+array x[8] @ 0;
+array flags[8] @ 8;
+int i = 0;
+while (i != 8) {
+    flags[i] = (x[i] > 3) + ((x[i] <= 1) << 1);
+    i = i + 1;
+}
+"""
+
+
+def run_on_target(source, target_name, preload=None, kind="compiled"):
+    """Compile, assemble, simulate; returns (state, golden_memory)."""
+    program = parse_kernel(source)
+    assembly = compile_kernel(program, target_name)
+    model = load_model(target_name)
+    tools = build_toolset(model)
+    obj = tools.assembler.assemble_text(assembly, name="kernel")
+    simulator = create_simulator(model, kind)
+    simulator.load_program(obj)
+    golden_memory = [0] * len(simulator.state.dmem)
+    for address, value in (preload or {}).items():
+        simulator.state.write_memory("dmem", address, value)
+        golden_memory[address] = value
+    evaluate_kernel(program, golden_memory)
+    simulator.run(max_cycles=5_000_000)
+    return simulator.state, golden_memory
+
+
+def check_arrays(source, target_name, preload=None):
+    program = parse_kernel(source)
+    state, golden = run_on_target(source, target_name, preload)
+    for array in program.arrays.values():
+        actual = state.dmem[array.base : array.base + array.size]
+        expected = golden[array.base : array.base + array.size]
+        assert actual == expected, (
+            "%s on %s: %r != %r" % (array.name, target_name, actual,
+                                    expected)
+        )
+
+
+PRELOAD_X8 = {i: v for i, v in enumerate([5, -2, 9, 0, 13, -7, 1, 4])}
+PRELOAD_X6 = {i: v for i, v in enumerate([5, -2, 9, 0, 13, -8])}
+
+
+class TestKernelsOnTinydsp:
+    def test_scale(self):
+        check_arrays(SCALE_KERNEL, "tinydsp", PRELOAD_X8)
+
+    def test_fibonacci(self):
+        check_arrays(FIB_KERNEL, "tinydsp")
+
+    def test_branchy(self):
+        check_arrays(BRANCHY_KERNEL, "tinydsp", PRELOAD_X6)
+
+    def test_nested_loops(self):
+        check_arrays(NESTED_KERNEL, "tinydsp")
+
+    def test_large_constants_built_from_chunks(self):
+        source = """
+array out[2] @ 0;
+int big = 100000;
+out[0] = big;
+out[1] = big * 3;
+"""
+        check_arrays(source, "tinydsp")
+
+    def test_long_shift_decomposed(self):
+        source = """
+array out[2] @ 0;
+int v = 3;
+out[0] = v << 20;
+out[1] = (0 - 4096) >> 9;
+"""
+        check_arrays(source, "tinydsp")
+
+
+class TestKernelsOnC62x:
+    def test_scale(self):
+        check_arrays(SCALE_KERNEL, "c62x", PRELOAD_X8)
+
+    def test_fibonacci(self):
+        check_arrays(FIB_KERNEL, "c62x")
+
+    def test_branchy(self):
+        check_arrays(BRANCHY_KERNEL, "c62x", PRELOAD_X6)
+
+    def test_nested_loops(self):
+        check_arrays(NESTED_KERNEL, "c62x")
+
+    def test_value_comparisons(self):
+        check_arrays(C62X_COMPARE_KERNEL, "c62x", PRELOAD_X8)
+
+    def test_32_bit_constants(self):
+        source = """
+array out[2] @ 0;
+int big = 1000000;
+out[0] = big + big;
+out[1] = 0 - big;
+"""
+        check_arrays(source, "c62x")
+
+    def test_same_result_on_both_targets(self):
+        tiny_state, _ = run_on_target(SCALE_KERNEL, "tinydsp", PRELOAD_X8)
+        c62x_state, _ = run_on_target(SCALE_KERNEL, "c62x", PRELOAD_X8)
+        assert tiny_state.dmem[8:16] == c62x_state.dmem[8:16]
+
+
+class TestReferenceInterpreter:
+    def test_compound_assign_and_division(self):
+        program = parse_kernel("""
+array out[3] @ 0;
+int a = 17;
+a /= 5;
+out[0] = a;
+out[1] = 17 % 5;
+out[2] = -17 / 5;
+""")
+        memory = [0] * 8
+        evaluate_kernel(program, memory)
+        assert memory[:3] == [3, 2, -3]  # C semantics
+
+    def test_bounds_checked(self):
+        program = parse_kernel("array x[4] @ 0;\nx[9] = 1;\n")
+        with pytest.raises(KernelError):
+            evaluate_kernel(program, [0] * 16)
+
+    def test_wrap32(self):
+        program = parse_kernel("""
+array out[1] @ 0;
+int v = 2147483647;
+out[0] = v + 1;
+""")
+        memory = [0] * 4
+        evaluate_kernel(program, memory)
+        assert memory[0] == -2147483648
+
+
+class TestFrontEndErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(KernelError):
+            parse_kernel("x = 1;")
+
+    def test_array_without_index(self):
+        with pytest.raises(KernelError):
+            parse_kernel("array a[4] @ 0;\nint x;\nx = a;\n")
+
+    def test_unknown_array(self):
+        with pytest.raises(KernelError):
+            parse_kernel("int x;\nx = nothere[0];\n")
+
+    def test_calls_rejected(self):
+        with pytest.raises(KernelError):
+            parse_kernel("int x;\nx = sext(1, 2);\n")
+
+    def test_duplicate_array(self):
+        with pytest.raises(KernelError):
+            parse_kernel("array a[4] @ 0;\narray a[4] @ 8;\n")
+
+    def test_duplicate_variable(self):
+        with pytest.raises(KernelError):
+            parse_kernel("int x;\nint x;\n")
+
+
+class TestBackendErrors:
+    def test_too_many_variables_for_tinydsp(self):
+        source = "\n".join("int v%d;" % i for i in range(5))
+        with pytest.raises(KernelError):
+            compile_kernel(source, "tinydsp")
+
+    def test_value_comparison_rejected_on_tinydsp(self):
+        with pytest.raises(KernelError):
+            compile_kernel("int x;\nint y;\ny = x < 3;\n", "tinydsp")
+
+    def test_variable_shift_rejected(self):
+        with pytest.raises(KernelError):
+            compile_kernel("int x;\nint y;\ny = x << x;\n", "c62x")
+
+    def test_division_rejected(self):
+        with pytest.raises(KernelError):
+            compile_kernel("int x;\nint y;\ny = x / 3;\n", "c62x")
+
+    def test_unknown_target(self):
+        with pytest.raises(KernelError):
+            compile_kernel("int x;", "vax")
+
+    def test_equality_conditions_work_on_tinydsp(self):
+        # ==/!= conditions are the supported tinydsp comparison forms.
+        check_arrays("""
+array out[2] @ 0;
+int i = 3;
+if (i == 3) { out[0] = 1; }
+if (i != 3) { out[1] = 1; } else { out[1] = 2; }
+""", "tinydsp")

@@ -1,0 +1,107 @@
+"""Tests for the VLIW packet linter."""
+
+import pytest
+
+from repro.apps import build_adpcm, build_fir, build_gsm
+from repro.tools.lint import lint_vliw_packets, written_cells
+
+
+class TestWrittenCells:
+    def test_alu_write_is_element_precise(self, c62x, c62x_tools):
+        from repro.behavior.codegen import BehaviorCodegen
+        from repro.coding.decoder import InstructionDecoder
+
+        word = c62x_tools.assembler.assemble_text(
+            "add a3, a1, a2", lint=False
+        ).segments[0].words[0]
+        node = InstructionDecoder(c62x).decode(word)
+        cells = written_cells(node, c62x, BehaviorCodegen(c62x))
+        assert cells == {("A", "3")}
+
+    def test_load_writes_queue_and_destination(self, c62x, c62x_tools):
+        from repro.behavior.codegen import BehaviorCodegen
+        from repro.coding.decoder import InstructionDecoder
+
+        word = c62x_tools.assembler.assemble_text(
+            "ldw b5, a4, 0", lint=False
+        ).segments[0].words[0]
+        node = InstructionDecoder(c62x).decode(word)
+        cells = written_cells(node, c62x, BehaviorCodegen(c62x))
+        assert ("B", "5") in cells
+        assert ("lsq", "0") in cells  # the in-flight address queue
+
+    def test_store_is_memory_wildcard(self, c62x, c62x_tools):
+        from repro.behavior.codegen import BehaviorCodegen
+        from repro.coding.decoder import InstructionDecoder
+
+        word = c62x_tools.assembler.assemble_text(
+            "stw a1, a4, 2", lint=False
+        ).segments[0].words[0]
+        node = InstructionDecoder(c62x).decode(word)
+        cells = written_cells(node, c62x, BehaviorCodegen(c62x))
+        assert ("dmem", "*") in cells
+
+
+class TestPacketLint:
+    def test_parallel_loads_flagged(self, c62x, c62x_tools):
+        program = c62x_tools.assembler.assemble_text("""
+        ldw a5, a4, 0
+     || ldw b5, b4, 0
+        halt
+""")
+        assert len(program.lint_warnings) >= 1
+        assert "lsq" in program.lint_warnings[0]
+
+    def test_parallel_same_destination_flagged(self, c62x, c62x_tools):
+        program = c62x_tools.assembler.assemble_text("""
+        mvk a1, 1
+     || addk a1, 2
+        halt
+""")
+        assert any("A[1]" in w for w in program.lint_warnings)
+
+    def test_clean_packet_not_flagged(self, c62x, c62x_tools):
+        program = c62x_tools.assembler.assemble_text("""
+        mvk a1, 1
+     || mvk a2, 2
+     || mvk b1, 3
+        halt
+""")
+        assert program.lint_warnings == []
+
+    def test_parallel_stores_flagged_as_wildcard(self, c62x, c62x_tools):
+        program = c62x_tools.assembler.assemble_text("""
+        stw a1, a4, 0
+     || stw a2, b4, 0
+        halt
+""")
+        assert any("dmem" in w for w in program.lint_warnings)
+
+    def test_scalar_model_always_clean(self, tinydsp, tinydsp_tools):
+        program = tinydsp_tools.assembler.assemble_text("nop\nhalt\n")
+        assert lint_vliw_packets(tinydsp, program) == []
+        assert program.lint_warnings == []
+
+    def test_lint_can_be_disabled(self, c62x, c62x_tools):
+        program = c62x_tools.assembler.assemble_text("""
+        ldw a5, a4, 0
+     || ldw b5, b4, 0
+        halt
+""", lint=False)
+        assert program.lint_warnings == []
+
+
+class TestShippedAppsLintClean:
+    """Our own benchmark programs must pass our own linter."""
+
+    def test_fir(self, c62x_tools):
+        program = build_fir("c62x", taps=4, samples=8).assemble(c62x_tools)
+        assert program.lint_warnings == []
+
+    def test_adpcm(self, c62x_tools):
+        program = build_adpcm(samples=8).assemble(c62x_tools)
+        assert program.lint_warnings == []
+
+    def test_gsm(self, c62x_tools):
+        program = build_gsm(target_words=600).assemble(c62x_tools)
+        assert program.lint_warnings == []

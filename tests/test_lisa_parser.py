@@ -1,0 +1,205 @@
+"""Tests for the LISA parser (AST level, no semantic checks)."""
+
+import pytest
+
+from repro.lisa import ast
+from repro.lisa.parser import parse_source
+from repro.support.errors import LisaSyntaxError
+
+MINIMAL = """
+MODEL m;
+RESOURCE {
+    PROGRAM_COUNTER uint32 PC;
+    MEMORY uint16 pmem[16];
+    PIPELINE p = { A; B };
+}
+"""
+
+
+class TestModelStructure:
+    def test_model_name(self):
+        tree = parse_source(MINIMAL)
+        assert tree.name == "m"
+
+    def test_model_header_optional(self):
+        tree = parse_source(MINIMAL.replace("MODEL m;\n", ""))
+        assert tree.name == "model"
+
+    def test_resources_collected(self):
+        tree = parse_source(MINIMAL)
+        assert len(tree.resources) == 3
+
+    def test_garbage_at_top_level_rejected(self):
+        with pytest.raises(LisaSyntaxError):
+            parse_source(MINIMAL + "\nBOGUS { }")
+
+
+class TestResourceItems:
+    def test_program_counter(self):
+        tree = parse_source(MINIMAL)
+        pc = tree.resources[0]
+        assert isinstance(pc, ast.ProgramCounterAst)
+        assert pc.type_name == "uint32"
+        assert pc.name == "PC"
+
+    def test_register_scalar_and_file(self):
+        tree = parse_source(
+            MINIMAL + "RESOURCE { REGISTER int A; REGISTER int16 R[8]; }"
+        )
+        scalar = tree.resources[3]
+        filed = tree.resources[4]
+        assert scalar.count is None
+        assert filed.count == 8
+
+    def test_memory(self):
+        tree = parse_source(MINIMAL)
+        mem = tree.resources[1]
+        assert isinstance(mem, ast.MemoryAst)
+        assert mem.size == 16
+
+    def test_pipeline_stages(self):
+        tree = parse_source(MINIMAL)
+        pipe = tree.resources[2]
+        assert pipe.stages == ["A", "B"]
+
+    def test_pipeline_trailing_semicolon_ok(self):
+        tree = parse_source(
+            "RESOURCE { PROGRAM_COUNTER uint32 PC; MEMORY uint16 m[4];"
+            " PIPELINE p = { A; B; }; }"
+        )
+        assert tree.resources[2].stages == ["A", "B"]
+
+
+class TestConfig:
+    def test_config_items(self):
+        tree = parse_source(
+            MINIMAL + 'CONFIG { WORDSIZE(16); ROOT(insn); DEFINE(X, 3); }'
+        )
+        keys = [c.key for c in tree.config]
+        assert keys == ["WORDSIZE", "ROOT", "DEFINE"]
+        assert tree.config[0].args == [16]
+        assert tree.config[1].args == ["insn"]
+        assert tree.config[2].args == ["X", 3]
+
+
+def op_source(body):
+    return MINIMAL + "\nOPERATION foo {\n%s\n}" % body
+
+
+class TestOperationSections:
+    def test_header_with_stage(self):
+        tree = parse_source(
+            MINIMAL + "OPERATION foo IN p.B { CODING { 0b1 } }"
+        )
+        op = tree.operations[0]
+        assert op.pipeline == "p"
+        assert op.stage == "B"
+
+    def test_declare_items(self):
+        tree = parse_source(op_source(
+            "DECLARE { GROUP g = { a || b }; INSTANCE i = { c };"
+            " LABEL x, y; REFERENCE r; }"
+        ))
+        declare = tree.operations[0].items[0]
+        group, instance, labels, refs = declare.items
+        assert group.alternatives == ["a", "b"]
+        assert instance.operation == "c"
+        assert labels.names == ["x", "y"]
+        assert refs.names == ["r"]
+
+    def test_coding_elements(self):
+        tree = parse_source(op_source(
+            "DECLARE { LABEL x; } CODING { 0b01x1 x[4] sub }"
+        ))
+        coding = tree.operations[0].items[1]
+        pattern, label, ref = coding.elements
+        assert isinstance(pattern, ast.CodingPatternAst)
+        assert label.width == 4
+        assert ref.width is None
+
+    def test_coding_exact_binary_preserves_width(self):
+        tree = parse_source(op_source("CODING { 0b0010 }"))
+        pattern = tree.operations[0].items[0].elements[0]
+        assert pattern.pattern.width == 4
+        assert pattern.pattern.value == 2
+
+    def test_coding_rejects_decimal_literal(self):
+        with pytest.raises(LisaSyntaxError):
+            parse_source(op_source("CODING { 5 }"))
+
+    def test_empty_coding_rejected(self):
+        with pytest.raises(LisaSyntaxError):
+            parse_source(op_source("CODING { }"))
+
+    def test_syntax_elements(self):
+        tree = parse_source(op_source('SYNTAX { "add" dst "," src }'))
+        elements = tree.operations[0].items[0].elements
+        assert [type(e).__name__ for e in elements] == [
+            "SyntaxLiteralAst", "SyntaxRefAst", "SyntaxLiteralAst",
+            "SyntaxRefAst",
+        ]
+
+    def test_behavior_tokens_captured_raw(self):
+        tree = parse_source(op_source(
+            "BEHAVIOR { x = y + { }; }"  # even nested braces survive
+        ))
+        section = tree.operations[0].items[0]
+        assert isinstance(section, ast.BehaviorSectionAst)
+        assert [t.text for t in section.tokens] == [
+            "x", "=", "y", "+", "{", "}", ";",
+        ]
+
+    def test_activation_names(self):
+        tree = parse_source(op_source("ACTIVATION { a, b, c }"))
+        assert tree.operations[0].items[0].names == ["a", "b", "c"]
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(LisaSyntaxError):
+            parse_source(op_source("WIBBLE { }"))
+
+
+class TestConditionalSections:
+    def test_if_else(self):
+        tree = parse_source(op_source(
+            "IF (mode == 0) { BEHAVIOR { } } ELSE { BEHAVIOR { } }"
+        ))
+        guarded = tree.operations[0].items[0]
+        assert isinstance(guarded, ast.IfSectionsAst)
+        assert len(guarded.then_items) == 1
+        assert len(guarded.else_items) == 1
+
+    def test_else_if_chain(self):
+        tree = parse_source(op_source(
+            "IF (m == 0) { BEHAVIOR { } } ELSE IF (m == 1) { BEHAVIOR { } }"
+        ))
+        guarded = tree.operations[0].items[0]
+        assert isinstance(guarded.else_items[0], ast.IfSectionsAst)
+
+    def test_empty_condition_rejected(self):
+        with pytest.raises(LisaSyntaxError):
+            parse_source(op_source("IF () { }"))
+
+    def test_switch_cases(self):
+        tree = parse_source(op_source(
+            "SWITCH (mode) { CASE 0: { BEHAVIOR { } }"
+            " CASE 1: { BEHAVIOR { } } DEFAULT: { BEHAVIOR { } } }"
+        ))
+        switch = tree.operations[0].items[0]
+        assert isinstance(switch, ast.SwitchSectionsAst)
+        assert len(switch.cases) == 3
+        assert switch.cases[2].value_tokens is None
+
+    def test_switch_without_cases_rejected(self):
+        with pytest.raises(LisaSyntaxError):
+            parse_source(op_source("SWITCH (m) { }"))
+
+    def test_case_outside_switch_rejected(self):
+        with pytest.raises(LisaSyntaxError):
+            parse_source(op_source("CASE 1: { }"))
+
+    def test_walk_sections_descends(self):
+        tree = parse_source(op_source(
+            'IF (m == 0) { SYNTAX { "a" } } ELSE { SYNTAX { "b" } }'
+        ))
+        sections = list(tree.operations[0].walk_sections())
+        assert len(sections) == 2

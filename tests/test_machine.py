@@ -1,0 +1,152 @@
+"""Tests for processor state and pipeline control."""
+
+import pytest
+
+from repro.machine.control import PipelineControl
+from repro.machine.state import ProcessorState
+from repro.support.errors import SimulationError
+
+
+@pytest.fixture
+def state(testmodel):
+    return ProcessorState(testmodel)
+
+
+class TestProcessorState:
+    def test_reset_zeroes_everything(self, state):
+        state.R[3] = 5
+        state.ACC = -2
+        state.dmem[1] = 9
+        state.reset()
+        assert state.R == [0] * 8
+        assert state.ACC == 0
+        assert state.dmem[1] == 0
+
+    def test_resources_are_attributes(self, state):
+        assert isinstance(state.R, list)
+        assert isinstance(state.pmem, list)
+        assert state.PC == 0
+
+    def test_pc_property(self, state):
+        state.pc = 12
+        assert state.PC == 12
+        assert state.pc == 12
+
+    def test_pc_canonicalised(self, state):
+        state.pc = 0x1_0000_0005
+        assert state.pc == 5
+
+    def test_checked_register_access(self, state):
+        state.write_register("R", 2, 42)
+        assert state.read_register("R", 2) == 42
+        state.write_register("ACC", 7)
+        assert state.read_register("ACC") == 7
+
+    def test_write_canonicalises_width(self, state):
+        state.write_register("ACC", 0x1FFFF)  # ACC is int16
+        assert state.read_register("ACC") == -1
+        state.write_register("R", 0, 2**40)  # R is int32
+        assert state.read_register("R", 0) == 0
+
+    def test_file_needs_index(self, state):
+        with pytest.raises(SimulationError):
+            state.read_register("R")
+        with pytest.raises(SimulationError):
+            state.write_register("R", 1)
+
+    def test_scalar_rejects_index(self, state):
+        with pytest.raises(SimulationError):
+            state.read_register("ACC", 0)
+
+    def test_unknown_register_rejected(self, state):
+        with pytest.raises(SimulationError):
+            state.read_register("Q")
+
+    def test_index_bounds_checked(self, state):
+        with pytest.raises(SimulationError):
+            state.read_register("R", 8)
+        with pytest.raises(SimulationError):
+            state.write_register("R", -1, 0)
+
+    def test_memory_access(self, state):
+        state.write_memory("dmem", 3, -5)
+        assert state.read_memory("dmem", 3) == -5
+
+    def test_memory_canonicalises(self, state):
+        state.write_memory("pmem", 0, 0x12345)  # pmem is uint16
+        assert state.read_memory("pmem", 0) == 0x2345
+
+    def test_memory_bounds(self, state):
+        with pytest.raises(SimulationError):
+            state.read_memory("dmem", 64)
+        with pytest.raises(SimulationError):
+            state.write_memory("dmem", -1, 0)
+
+    def test_unknown_memory_rejected(self, state):
+        with pytest.raises(SimulationError):
+            state.read_memory("vram", 0)
+
+    def test_load_words(self, state):
+        state.load_words("dmem", 2, [1, -2, 70000])
+        assert state.dmem[2:5] == [1, -2, state.model.memories["dmem"]
+                                   .dtype.canonical(70000)]
+
+    def test_load_words_overflow_rejected(self, state):
+        with pytest.raises(SimulationError):
+            state.load_words("dmem", 62, [1, 2, 3])
+
+    def test_snapshot_and_differences(self, state, testmodel):
+        other = ProcessorState(testmodel)
+        assert state.differences(other) == []
+        state.R[1] = 5
+        other.ACC = 3
+        diffs = state.differences(other)
+        assert set(diffs) == {"R", "ACC"}
+
+    def test_snapshot_is_deep(self, state):
+        snap = state.snapshot()
+        state.R[0] = 99
+        assert snap["R"][0] == 0
+
+
+class TestPipelineControl:
+    def test_initial_state(self):
+        control = PipelineControl()
+        assert not control.halted
+        assert control.stall_cycles == 0
+        assert control.flush_below == -1
+
+    def test_flush_records_highest_stage(self):
+        control = PipelineControl()
+        control.current_stage = 2
+        control.request_flush()
+        control.current_stage = 1
+        control.request_flush()  # lower stage must not shrink the flush
+        assert control.flush_below == 2
+
+    def test_stall_accumulates(self):
+        control = PipelineControl()
+        control.request_stall(2)
+        control.request_stall(3)
+        assert control.stall_cycles == 5
+
+    def test_stall_rejects_negative(self):
+        control = PipelineControl()
+        with pytest.raises(SimulationError):
+            control.request_stall(-1)
+
+    def test_halt_implies_flush(self):
+        control = PipelineControl()
+        control.current_stage = 3
+        control.request_halt()
+        assert control.halted
+        assert control.flush_below == 3
+
+    def test_reset(self):
+        control = PipelineControl()
+        control.request_halt()
+        control.request_stall(4)
+        control.reset()
+        assert not control.halted
+        assert control.stall_cycles == 0
+        assert control.flush_below == -1

@@ -1,0 +1,210 @@
+"""Tests for the model data base: types, guards, variant resolution."""
+
+import pytest
+
+from repro.behavior.parser import parse_expression
+from repro.lisa import model as m
+from repro.lisa.lexer import tokenize
+from repro.lisa.semantics import compile_source
+from repro.support.errors import LisaSemanticError
+from tests.conftest import TESTMODEL_SOURCE
+
+
+def guard(source):
+    return parse_expression([t for t in tokenize(source)
+                             if t.kind != "eof"])
+
+
+class TestDataTypes:
+    def test_type_table_aliases(self):
+        assert m.TYPES["int"] is m.TYPES["int32"]
+        assert m.TYPES["uint"] is m.TYPES["uint32"]
+        assert m.TYPES["short"] is m.TYPES["int16"]
+        assert m.TYPES["long"] is m.TYPES["int64"]
+
+    def test_canonical_signed(self):
+        int8 = m.TYPES["int8"]
+        assert int8.canonical(127) == 127
+        assert int8.canonical(128) == -128
+        assert int8.canonical(-1) == -1
+        assert int8.canonical(255) == -1
+        assert int8.canonical(256) == 0
+
+    def test_canonical_unsigned(self):
+        uint8 = m.TYPES["uint8"]
+        assert uint8.canonical(255) == 255
+        assert uint8.canonical(256) == 0
+        assert uint8.canonical(-1) == 255
+
+    def test_int40_accumulator_type(self):
+        acc = m.TYPES["int40"]
+        assert acc.width == 40
+        assert acc.canonical((1 << 39) - 1) == (1 << 39) - 1
+        assert acc.canonical(1 << 39) == -(1 << 39)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(LisaSemanticError):
+            m.lookup_type("float128")
+
+
+class TestConditionEvaluation:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return compile_source(TESTMODEL_SOURCE)
+
+    def test_literals_and_env(self, model):
+        assert m.evaluate_condition(guard("3"), {}, model) == 3
+        assert m.evaluate_condition(guard("x + 1"), {"x": 4}, model) == 5
+
+    def test_defines_resolve(self, model):
+        assert m.evaluate_condition(guard("LONG"), {}, model) == 1
+
+    def test_operation_names_are_symbolic(self, model):
+        env = {"op": "add"}
+        assert m.evaluate_condition(guard("op == add"), env, model) == 1
+        assert m.evaluate_condition(guard("op == ldi"), env, model) == 0
+
+    def test_comparisons_and_logic(self, model):
+        env = {"a": 2, "b": 3}
+        assert m.evaluate_condition(guard("a < b && b != 0"), env, model)
+        assert not m.evaluate_condition(guard("a >= b"), env, model)
+        assert m.evaluate_condition(guard("!(a == b)"), env, model)
+
+    def test_arithmetic_in_guards(self, model):
+        assert m.evaluate_condition(
+            guard("(x & 0b11) == 2"), {"x": 6}, model
+        ) == 1
+
+    def test_ternary_in_guard(self, model):
+        assert m.evaluate_condition(
+            guard("x ? 7 : 9"), {"x": 0}, model
+        ) == 9
+
+    def test_unknown_name_rejected(self, model):
+        with pytest.raises(LisaSemanticError):
+            m.evaluate_condition(guard("mystery == 1"), {}, model)
+
+
+class TestVariantResolution:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return compile_source(TESTMODEL_SOURCE)
+
+    def test_if_then_branch(self, model, testmodel_tools=None):
+        add = model.operations["add"]
+        variant = add.resolve_variant({"mode": 0}, model)
+        assert len(variant.behaviors) == 1
+        assert variant.syntax.elements[0].text == "add"
+
+    def test_if_else_branch(self, model):
+        add = model.operations["add"]
+        variant = add.resolve_variant({"mode": 1}, model)
+        assert variant.syntax.elements[0].text == "addl"
+
+    def test_unconditional_sections_always_present(self, model):
+        ldi = model.operations["ldi"]
+        variant = ldi.resolve_variant({}, model)
+        assert len(variant.behaviors) == 1
+        assert variant.expression is None
+
+    def test_activation_names_resolved(self, model):
+        st = model.operations["st"]
+        variant = st.resolve_variant({}, model)
+        assert variant.activations == ("note_store",)
+
+    def test_expression_section(self, model):
+        reg = model.operations["reg"]
+        variant = reg.resolve_variant({"idx": 3}, model)
+        assert variant.expression is not None
+
+
+class TestSyntaxVariants:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return compile_source(TESTMODEL_SOURCE)
+
+    def test_if_arm_bindings(self, model):
+        add = model.operations["add"]
+        variants = add.syntax_variants(model)
+        by_mnemonic = {
+            v[0].elements[0].text: (v[1], v[2]) for v in variants
+        }
+        assert by_mnemonic["add"] == ({"mode": 0}, True)
+        # ELSE arm of a 1-bit guard is solvable to the complement.
+        assert by_mnemonic["addl"] == ({"mode": 1}, True)
+
+    def test_unconditional_syntax_has_no_bindings(self, model):
+        ldi = model.operations["ldi"]
+        ((syntax, bindings, usable),) = ldi.syntax_variants(model)
+        assert bindings == {}
+        assert usable
+
+    def test_label_width_helper(self, model):
+        assert m.label_width(model, "mode") == 1
+        assert m.label_width(model, "imm") == 8
+        assert m.label_width(model, "no_such_label") is None
+
+
+class TestSwitchVariants:
+    SOURCE = """
+RESOURCE {
+    PROGRAM_COUNTER uint32 PC;
+    REGISTER int R[2];
+    MEMORY uint8 pmem[8];
+    PIPELINE pipe = { EX };
+}
+CONFIG { WORDSIZE(4); ROOT(insn); EXECUTE_STAGE(EX); }
+OPERATION insn {
+    DECLARE { LABEL sel; LABEL val; }
+    CODING { sel[2] val[2] }
+    SWITCH (sel) {
+        CASE 0: { SYNTAX { "zero" val } BEHAVIOR { R[0] = val; } }
+        CASE 1: { SYNTAX { "one" val } BEHAVIOR { R[0] = val + 1; } }
+        DEFAULT: { SYNTAX { "other" val } BEHAVIOR { R[0] = 0 - 1; } }
+    }
+}
+"""
+
+    def test_switch_case_bindings(self):
+        model = compile_source(self.SOURCE)
+        insn = model.operations["insn"]
+        variants = insn.syntax_variants(model)
+        usable = {
+            v[0].elements[0].text: v[1] for v in variants if v[2]
+        }
+        assert usable == {"zero": {"sel": 0}, "one": {"sel": 1}}
+        unusable = [v[0].elements[0].text for v in variants if not v[2]]
+        assert unusable == ["other"]
+
+    def test_switch_default_selected_at_decode(self):
+        model = compile_source(self.SOURCE)
+        insn = model.operations["insn"]
+        variant = insn.resolve_variant({"sel": 3, "val": 0}, model)
+        assert variant.syntax.elements[0].text == "other"
+
+
+class TestMachineModelQueries:
+    def test_describe_mentions_essentials(self, testmodel):
+        text = testmodel.describe()
+        assert "testmodel" in text
+        assert "FE -> DE -> EX -> WB" in text
+
+    def test_stage_of_defaults_to_execute_stage(self, testmodel):
+        insn = testmodel.operations["insn"]
+        assert testmodel.stage_of(insn) == 2  # EX
+
+    def test_stage_of_explicit(self, testmodel):
+        note = testmodel.operations["note_store"]
+        assert testmodel.stage_of(note) == 3  # WB
+
+    def test_unknown_operation_rejected(self, testmodel):
+        with pytest.raises(LisaSemanticError):
+            testmodel.operation("nonexistent")
+
+    def test_resource_names(self, testmodel):
+        names = testmodel.resource_names()
+        assert {"PC", "R", "ACC", "pmem", "dmem"} <= names
+
+    def test_is_vliw_flag(self, testmodel, c62x):
+        assert not testmodel.is_vliw
+        assert c62x.is_vliw

@@ -1,0 +1,245 @@
+"""Instruction-level semantic tests for the shipped c54x model."""
+
+import pytest
+
+from repro.sim import create_simulator
+
+
+def run(tools, model, source, kind="compiled", max_cycles=100_000):
+    program = tools.assembler.assemble_text(source)
+    simulator = create_simulator(model, kind)
+    simulator.load_program(program)
+    simulator.run(max_cycles)
+    return simulator
+
+
+class TestAccumulators:
+    def test_ld_immediate_both_accs(self, c54x, c54x_tools):
+        sim = run(c54x_tools, c54x, """
+        ld 100, a
+        ld -7, b
+        halt
+""")
+        assert sim.state.A == 100
+        assert sim.state.B == -7
+
+    def test_ld_from_memory_sign_extends(self, c54x, c54x_tools):
+        sim = run(c54x_tools, c54x, """
+        .section dmem
+        .word -3
+        .section pmem
+        stm 0, ar1
+        ld *ar1, a
+        halt
+""")
+        assert sim.state.A == -3
+
+    def test_stl_and_sth(self, c54x, c54x_tools):
+        sim = run(c54x_tools, c54x, """
+        ld 1, a
+        sftl a, 20          ; a = 1 << 20
+        add 5, a
+        stm 10, ar1
+        stl a, *ar1+        ; low 16 bits -> dmem[10]
+        sth a, *ar1         ; bits 31..16 -> dmem[11]
+        halt
+""")
+        value = (1 << 20) + 5
+        low = value & 0xFFFF
+        if low >= 0x8000:
+            low -= 0x10000
+        assert sim.state.dmem[10] == low
+        assert sim.state.dmem[11] == (value >> 16) & 0xFFFF
+
+    def test_acc_is_40_bits(self, c54x, c54x_tools):
+        sim = run(c54x_tools, c54x, """
+        ld 1, a
+        sftl a, 31          ; 2^31: beyond 32 bits lives in guard bits
+        sftl a, 1           ; 2^32
+        halt
+""")
+        assert sim.state.A == 1 << 32
+
+    def test_sftr_arithmetic(self, c54x, c54x_tools):
+        sim = run(c54x_tools, c54x, """
+        ld -16, a
+        sftr a, 2
+        halt
+""")
+        assert sim.state.A == -4
+
+    def test_add_sub_memory(self, c54x, c54x_tools):
+        sim = run(c54x_tools, c54x, """
+        .section dmem
+        .word 10, 20
+        .section pmem
+        stm 0, ar1
+        ld 0, a
+        add *ar1+, a
+        add *ar1, a
+        sub *ar1, a         ; a = 10 + 20 - 20
+        halt
+""")
+        assert sim.state.A == 10
+
+    def test_add_immediate(self, c54x, c54x_tools):
+        sim = run(c54x_tools, c54x, "ld 2, a\nadd 500, a\nhalt\n")
+        assert sim.state.A == 502
+
+
+class TestMultiplier:
+    def test_lt_mpy_mac_mas(self, c54x, c54x_tools):
+        sim = run(c54x_tools, c54x, """
+        .section dmem
+        .word 7, 11, 3
+        .section pmem
+        stm 0, ar1
+        lt *ar1+            ; T = 7
+        mpy *ar1+, a        ; a = 7 * 11
+        mac *ar1, a         ; a += 7 * 3
+        mas *ar1, b         ; b = 0 - 7 * 3
+        halt
+""")
+        assert sim.state.T == 7
+        assert sim.state.A == 7 * 11 + 7 * 3
+        assert sim.state.B == -21
+
+    def test_mac_negative_products(self, c54x, c54x_tools):
+        sim = run(c54x_tools, c54x, """
+        .section dmem
+        .word -100, 50
+        .section pmem
+        stm 0, ar1
+        lt *ar1+
+        mac *ar1, a
+        halt
+""")
+        assert sim.state.A == -5000
+
+
+class TestAddressRegisters:
+    def test_postmodify_variants(self, c54x, c54x_tools):
+        sim = run(c54x_tools, c54x, """
+        stm 5, ar1
+        mar *ar1+
+        mar *ar1+
+        mar *ar1-
+        halt
+""")
+        assert sim.state.AR[1] == 6
+
+    def test_adar_signed_offsets(self, c54x, c54x_tools):
+        sim = run(c54x_tools, c54x, """
+        stm 50, ar2
+        adar ar2, 30
+        adar ar2, -10
+        halt
+""")
+        assert sim.state.AR[2] == 70
+
+    def test_ar_wraps_16_bits(self, c54x, c54x_tools):
+        sim = run(c54x_tools, c54x, """
+        stm 0, ar1
+        mar *ar1-
+        halt
+""")
+        assert sim.state.AR[1] == 0xFFFF
+
+
+class TestControlFlow:
+    def test_banz_loop_count(self, c54x, c54x_tools):
+        sim = run(c54x_tools, c54x, """
+        stm 3, ar0
+        ld 0, a
+loop:   add 1, a
+        banz loop, ar0
+        halt
+""")
+        # Body executes 4 times (banz taken while AR0 != 0, then once
+        # more on the fall-through pass).
+        assert sim.state.A == 4
+        assert sim.state.AR[0] == 0
+
+    def test_unconditional_branch_flushes(self, c54x, c54x_tools):
+        sim = run(c54x_tools, c54x, """
+        b over
+        ld 99, a            ; must be squashed
+over:   ld 1, b
+        halt
+""")
+        assert sim.state.A == 0
+        assert sim.state.B == 1
+
+    def test_branch_penalty_is_pipeline_depth_minus_one(self, c54x,
+                                                        c54x_tools):
+        straight = run(c54x_tools, c54x, "nop\nnop\nnop\nhalt\n")
+        branchy = run(c54x_tools, c54x, """
+        b t1
+t1:     nop
+        nop
+        halt
+""")
+        # The taken branch refetches from its own fall-through point:
+        # five squashed fetches on the 6-stage pipeline.
+        assert branchy.cycles == straight.cycles + 5
+
+
+class TestAllSimulatorsAgree:
+    @pytest.mark.parametrize("kind", [
+        "interpretive", "predecoded", "static", "unfolded",
+        "unfolded_static",
+    ])
+    def test_fir_like_kernel(self, c54x, c54x_tools, kind):
+        source = """
+        .section dmem
+        .word 1, 2, 3, 4
+        .org 8
+        .word 5, 6, 7, 8
+        .section pmem
+        stm 0, ar1
+        stm 8, ar2
+        stm 3, ar0
+        ld 0, a
+loop:   lt *ar1+
+        mac *ar2+, a
+        banz loop, ar0
+        stm 20, ar3
+        stl a, *ar3
+        halt
+"""
+        reference = run(c54x_tools, c54x, source, kind="compiled")
+        other = run(c54x_tools, c54x, source, kind=kind)
+        assert other.state.differences(reference.state) == []
+        assert other.cycles == reference.cycles
+
+
+class TestAccumulatorUnaryOps:
+    def test_abs(self, c54x, c54x_tools):
+        sim = run(c54x_tools, c54x, """
+        ld -42, a
+        abs a
+        ld 17, b
+        abs b
+        halt
+""")
+        assert sim.state.A == 42
+        assert sim.state.B == 17
+
+    def test_neg(self, c54x, c54x_tools):
+        sim = run(c54x_tools, c54x, """
+        ld 42, a
+        neg a
+        ld -7, b
+        neg b
+        halt
+""")
+        assert sim.state.A == -42
+        assert sim.state.B == 7
+
+    def test_roundtrip(self, c54x_tools):
+        for line in ("abs a", "neg b"):
+            program = c54x_tools.assembler.assemble_text(line)
+            word = program.segments[0].words[0]
+            text = c54x_tools.disassembler.disassemble_word(word)
+            again = c54x_tools.assembler.assemble_text(text)
+            assert again.segments[0].words[0] == word, line

@@ -1,0 +1,396 @@
+"""Instruction-level and timing tests for the shipped c62x VLIW model."""
+
+import pytest
+
+from repro.sim import create_simulator
+
+
+def run(tools, model, source, kind="compiled", max_cycles=1_000_000):
+    program = tools.assembler.assemble_text(source)
+    simulator = create_simulator(model, kind)
+    simulator.load_program(program)
+    simulator.run(max_cycles)
+    return simulator
+
+
+NOP5 = "        nop\n" * 5
+
+
+class TestAluAndConstants:
+    def test_mvk_mvkh_build_32_bit_constant(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, 0x5678
+        mvkh a1, 0x1234
+        halt
+""")
+        assert sim.state.A[1] == 0x12345678
+
+    def test_mvk_sign_extends(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, "mvk b2, 65535\nhalt\n")
+        assert sim.state.B[2] == -1
+
+    def test_cross_file_operands(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, 3
+        mvk b1, 4
+        add a2, a1, b1
+        add b2, b1, a1
+        halt
+""")
+        assert sim.state.A[2] == 7
+        assert sim.state.B[2] == 7
+
+    def test_compare_ops_produce_flags(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, -5
+        mvk a2, 5
+        cmpeq a3, a1, a2
+        cmpgt a4, a2, a1
+        cmplt a5, a2, a1
+        cmpeq b3, a1, a1
+        halt
+""")
+        assert sim.state.A[3] == 0
+        assert sim.state.A[4] == 1
+        assert sim.state.A[5] == 0
+        assert sim.state.B[3] == 1
+
+    def test_saturating_ops(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, 0
+        mvkh a1, 0x7fff     ; 0x7fff0000
+        mvk a2, 0
+        mvkh a2, 0x7fff
+        sadd a3, a1, a2     ; saturates at INT32_MAX
+        add a4, a1, a2      ; wraps
+        halt
+""")
+        assert sim.state.A[3] == 0x7FFFFFFF
+        assert sim.state.A[4] == -131072
+
+    def test_sshl_saturating_shift(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, 40000
+        mvkh a1, 0          ; a1 = 40000 (as unsigned 16 would overflow)
+        sshl a2, a1, 16
+        shr a3, a2, 16      ; the 16-bit clamp idiom
+        mvk b1, 100
+        sshl b2, b1, 16
+        shr b3, b2, 16
+        halt
+""")
+        assert sim.state.A[3] == 32767
+        assert sim.state.B[3] == 100
+
+    def test_shru_logical(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, -1
+        shru a2, a1, 28
+        shr a3, a1, 28
+        halt
+""")
+        assert sim.state.A[2] == 0xF
+        assert sim.state.A[3] == -1
+
+    def test_abs_and_mv(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, -123
+        abs a2, a1
+        mv b1, a2
+        halt
+""")
+        assert sim.state.A[2] == 123
+        assert sim.state.B[1] == 123
+
+
+class TestMultiplier:
+    def test_mpy_low_halves(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, -300
+        mvk a2, 200
+        mpy a3, a1, a2
+        halt
+""")
+        assert sim.state.A[3] == -60000
+
+    def test_mpyh_high_halves(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, 0
+        mvkh a1, 7          ; high half = 7
+        mvk a2, 0
+        mvkh a2, 11
+        mpyh a3, a1, a2
+        halt
+""")
+        assert sim.state.A[3] == 77
+
+    def test_mpy_result_usable_next_packet(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, 6
+        mvk a2, 7
+        mpy a3, a1, a2
+        add a4, a3, a3      ; next packet: sees the product
+        halt
+""")
+        assert sim.state.A[4] == 84
+
+
+class TestLoadStoreTiming:
+    def test_load_data_visible_after_delay(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        .section dmem
+        .word 42
+        .section pmem
+        mvk a4, 0
+        ldw a5, a4, 0
+        mv b1, a5           ; delay slot 1: still old value (0)
+        mv b2, a5           ; delay slot 2
+        mv b3, a5           ; delay slot 3
+        mv b4, a5           ; 4th following packet: sees 42
+        halt
+""")
+        assert sim.state.B[1] == 0
+        assert sim.state.B[2] == 0
+        assert sim.state.B[3] == 0
+        assert sim.state.B[4] == 42
+
+    def test_base_can_be_modified_in_delay_slots(self, c62x, c62x_tools):
+        """The in-flight address is latched at E1 (the lsq idiom)."""
+        sim = run(c62x_tools, c62x, """
+        .section dmem
+        .word 10, 20
+        .section pmem
+        mvk a4, 0
+        ldw a5, a4, 0
+        addk a4, 1          ; pointer bump inside the delay slots
+        nop
+        nop
+        nop
+        mv b1, a5           ; must be dmem[0], not dmem[1]
+        halt
+""")
+        assert sim.state.B[1] == 10
+
+    def test_back_to_back_loads_use_distinct_queue_slots(self, c62x,
+                                                         c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        .section dmem
+        .word 1, 2, 3, 4
+        .section pmem
+        mvk a4, 0
+        ldw a5, a4, 0
+        ldw a6, a4, 1
+        ldw a7, a4, 2
+        ldw a8, a4, 3
+        nop
+        nop
+        nop
+        halt
+""")
+        assert [sim.state.A[i] for i in (5, 6, 7, 8)] == [1, 2, 3, 4]
+
+    def test_store_then_load(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, 99
+        mvk a4, 5
+        stw a1, a4, 0
+        ldw a2, a4, 0
+        nop
+        nop
+        nop
+        halt
+""")
+        assert sim.state.dmem[5] == 99
+        assert sim.state.A[2] == 99
+
+    def test_negative_offsets(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        .section dmem
+        .word 7
+        .section pmem
+        mvk a4, 4
+        ldw a5, a4, -4
+        nop
+        nop
+        nop
+        halt
+""")
+        assert sim.state.A[5] == 7
+
+
+class TestBranchTiming:
+    def test_branch_has_five_delay_slots(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, 0
+        b over
+        addk a1, 1          ; delay slot 1: executes
+        addk a1, 1          ; 2
+        addk a1, 1          ; 3
+        addk a1, 1          ; 4
+        addk a1, 1          ; 5
+        addk a1, 100        ; must NOT execute
+over:   halt
+""")
+        assert sim.state.A[1] == 5
+
+    def test_conditional_branch_taken_and_not(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, 1
+        mvk a2, 0
+        bnz a1, t1          ; taken
+%(nops)s
+        halt
+t1:     bz a1, t2           ; not taken (a1 != 0)
+%(nops)s
+        mvk a2, 7
+        halt
+t2:     mvk a2, 99
+        halt
+""" % {"nops": NOP5})
+        assert sim.state.A[2] == 7
+
+    def test_loop_with_delay_slots(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, 10
+        mvk a2, 0
+loop:   addk a2, 3
+        addk a1, -1
+        bnz a1, loop
+%(nops)s
+        halt
+""" % {"nops": NOP5})
+        assert sim.state.A[2] == 30
+        assert sim.state.A[1] == 0
+
+
+class TestVliwIssue:
+    def test_parallel_instructions_same_cycle(self, c62x, c62x_tools):
+        parallel = run(c62x_tools, c62x, """
+        mvk a1, 1
+     || mvk a2, 2
+     || mvk a3, 3
+     || mvk a4, 4
+        halt
+""")
+        serial = run(c62x_tools, c62x, """
+        mvk a1, 1
+        mvk a2, 2
+        mvk a3, 3
+        mvk a4, 4
+        halt
+""")
+        assert parallel.cycles == serial.cycles - 3
+        assert parallel.state.A[1:5] == [1, 2, 3, 4]
+
+    def test_packet_cap_at_eight_words(self, c62x, c62x_tools):
+        lines = ["        mvk a1, 1"]
+        for i in range(2, 11):
+            lines.append("     || mvk a%d, %d" % (i % 8 + 1, i))
+        lines.append("        halt")
+        sim = run(c62x_tools, c62x, "\n".join(lines))
+        # 10 chained words split as 8 + 2: the program still executes.
+        assert sim.stats.instructions >= 10
+
+    def test_instructions_counted_per_word(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, 1
+     || mvk a2, 2
+        halt
+""")
+        assert sim.stats.instructions == 3
+
+
+class TestAllSimulatorsAgreeC62x:
+    @pytest.mark.parametrize("kind", [
+        "interpretive", "predecoded", "static", "unfolded",
+        "unfolded_static",
+    ])
+    def test_mixed_program(self, c62x, c62x_tools, kind):
+        source = """
+        .section dmem
+        .word 5, 6, 7
+        .section pmem
+        mvk a4, 0
+        mvk a1, 3
+        mvk a7, 0
+loop:   ldw a5, a4, 0
+     || addk a1, -1
+        addk a4, 1
+        nop
+        nop
+        mpy a6, a5, a5
+        add a7, a7, a6
+        bnz a1, loop
+%(nops)s
+        stw a7, a0, 100
+        halt
+""" % {"nops": NOP5}
+        reference = run(c62x_tools, c62x, source, kind="compiled")
+        other = run(c62x_tools, c62x, source, kind=kind)
+        assert other.state.differences(reference.state) == []
+        assert other.cycles == reference.cycles
+        assert reference.state.dmem[100] == 25 + 36 + 49
+
+
+class TestSimdAndBitfieldOps:
+    def test_add2_independent_halves(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, 0xFFFF     ; low = 0xFFFF (as unsigned field)
+        mvkh a1, 1         ; a1 = 0x0001FFFF
+        mvk a2, 1
+        mvkh a2, 2         ; a2 = 0x00020001
+        add2 a3, a1, a2    ; halves add independently: no carry across
+        halt
+""")
+        assert sim.state.A[3] & 0xFFFF == 0x0000  # 0xFFFF+1 wraps in 16
+        assert (sim.state.A[3] >> 16) & 0xFFFF == 0x0003  # 1+2, no carry
+
+    def test_sub2(self, c62x, c62x_tools):
+        sim = run(c62x_tools, c62x, """
+        mvk a1, 5
+        mvkh a1, 10
+        mvk a2, 7
+        mvkh a2, 4
+        sub2 a3, a1, a2
+        halt
+""")
+        assert sim.state.A[3] & 0xFFFF == (5 - 7) & 0xFFFF
+        assert (sim.state.A[3] >> 16) & 0xFFFF == 6
+
+    @pytest.mark.parametrize("value,expected", [
+        (0, 31), (-1, 31), (1, 30), (-2, 30), (0x40000000, 0),
+        (0x7FFFFFFF, 0), (256, 22),
+    ])
+    def test_norm_counts_redundant_sign_bits(self, c62x, c62x_tools,
+                                             value, expected):
+        low = value & 0xFFFF
+        high = (value >> 16) & 0xFFFF
+        sim = run(c62x_tools, c62x, """
+        mvk a1, %d
+        mvkh a1, %d
+        norm a2, a1
+        halt
+""" % (low, high))
+        assert sim.state.A[2] == expected, value
+
+    def test_ext_signed_field(self, c62x, c62x_tools):
+        # Extract bits 11..4 (8 bits) of 0xABC0: field 0xBC -> signed.
+        sim = run(c62x_tools, c62x, """
+        mvk a1, 0xABC0
+        mvkh a1, 0
+        ext a2, a1, 20, 24     ; left 20 puts bit 11 at 31, right 24
+        extu a3, a1, 20, 24
+        halt
+""")
+        assert sim.state.A[2] == -68  # 0xBC sign-extended from 8 bits
+        assert sim.state.A[3] == 0xBC
+
+    def test_new_ops_roundtrip_through_tools(self, c62x_tools):
+        for line in ("add2 a1, a2, b3", "sub2 b1, b2, b3",
+                     "norm a4, b5", "ext a1, a2, 20, 24",
+                     "extu b1, b2, 5, 9"):
+            program = c62x_tools.assembler.assemble_text(line)
+            word = program.segments[0].words[0]
+            text = c62x_tools.disassembler.disassemble_word(word)
+            again = c62x_tools.assembler.assemble_text(text)
+            assert again.segments[0].words[0] == word, line

@@ -1,0 +1,81 @@
+"""Tests for the object-file container and loader."""
+
+import pytest
+
+from repro.machine.state import ProcessorState
+from repro.support.errors import ReproError
+from repro.tools.objfile import Program, Segment
+
+
+class TestSegments:
+    def test_add_and_query(self):
+        program = Program()
+        program.add_segment("pmem", 0, [1, 2, 3])
+        program.add_segment("dmem", 4, [9])
+        assert program.word_count() == 4
+        assert program.word_count("pmem") == 3
+        assert len(program.segments_in("dmem")) == 1
+
+    def test_overlap_same_memory_rejected(self):
+        program = Program()
+        program.add_segment("pmem", 0, [1, 2, 3])
+        with pytest.raises(ReproError):
+            program.add_segment("pmem", 2, [4])
+
+    def test_adjacent_segments_allowed(self):
+        program = Program()
+        program.add_segment("pmem", 0, [1, 2])
+        program.add_segment("pmem", 2, [3])
+        assert program.word_count("pmem") == 3
+
+    def test_same_range_different_memory_allowed(self):
+        program = Program()
+        program.add_segment("pmem", 0, [1])
+        program.add_segment("dmem", 0, [2])
+        assert program.word_count() == 2
+
+    def test_segment_end_and_overlap_helpers(self):
+        a = Segment("m", 0, [1, 2])
+        b = Segment("m", 1, [1])
+        c = Segment("m", 2, [1])
+        assert a.end == 2
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestLoading:
+    def test_load_into_sets_memory_and_pc(self, testmodel):
+        state = ProcessorState(testmodel)
+        program = Program(entry=3)
+        program.add_segment("pmem", 1, [10, 20])
+        program.add_segment("dmem", 0, [-7])
+        program.load_into(state)
+        assert state.pmem[1:3] == [10, 20]
+        assert state.dmem[0] == -7
+        assert state.pc == 3
+
+    def test_load_out_of_range_rejected(self, testmodel):
+        from repro.support.errors import SimulationError
+
+        state = ProcessorState(testmodel)
+        program = Program()
+        program.add_segment("dmem", 60, [1] * 10)
+        with pytest.raises(SimulationError):
+            program.load_into(state)
+
+
+class TestSerialisation:
+    def test_dict_roundtrip(self):
+        program = Program(name="p", entry=2, symbols={"a": 1})
+        program.add_segment("pmem", 0, [5, 6])
+        clone = Program.from_dict(program.to_dict())
+        assert clone.to_dict() == program.to_dict()
+
+    def test_file_roundtrip(self, tmp_path):
+        program = Program(name="f", entry=1)
+        program.add_segment("pmem", 0, [7])
+        path = tmp_path / "prog.dspo"
+        program.save(path)
+        loaded = Program.load(path)
+        assert loaded.entry == 1
+        assert loaded.segments[0].words == [7]

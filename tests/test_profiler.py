@@ -1,0 +1,87 @@
+"""Tests for the simulator-based profiler."""
+
+import pytest
+
+from repro.sim import create_simulator
+from repro.support.errors import SimulationError
+from repro.tools.profiler import Profiler
+
+
+SOURCE = """
+        .entry start
+start:  ldi r1, 4
+        ldi r2, -1
+loop:   add r3, r3, r1
+        add r1, r1, r2
+        brnz r1, loop
+        st r3, 0
+        halt
+"""
+
+
+@pytest.fixture
+def profiled(testmodel, testmodel_tools):
+    program = testmodel_tools.assembler.assemble_text(SOURCE)
+    simulator = create_simulator(testmodel, "compiled")
+    simulator.load_program(program)
+    profiler = Profiler(simulator)
+    simulator.run(max_cycles=10_000)
+    return profiler.report(), program, simulator
+
+
+class TestProfiler:
+    def test_loop_body_is_hottest(self, profiled):
+        report, _, _ = profiled
+        hottest_pc, hottest_count = report.hottest[0]
+        assert hottest_pc in (2, 3, 4)  # the loop body
+        assert hottest_count == 4
+
+    def test_prologue_fetched_once(self, profiled):
+        report, _, _ = profiled
+        assert report.fetch_counts[0] == 1
+        assert report.fetch_counts[1] == 1
+
+    def test_cycle_accounting(self, profiled):
+        report, _, simulator = profiled
+        assert report.total_cycles == simulator.cycles
+        assert report.issue_cycles + report.bubble_cycles \
+            == report.total_cycles
+        assert report.bubble_cycles > 0  # flushes and drain
+
+    def test_annotated_listing(self, profiled, testmodel_tools):
+        report, program, _ = profiled
+        lines = report.annotate(testmodel_tools.disassembler, program,
+                                limit=3)
+        assert len(lines) == 3
+        assert "add" in lines[0] or "brnz" in lines[0]
+
+    def test_profile_does_not_change_results(self, testmodel,
+                                             testmodel_tools):
+        program = testmodel_tools.assembler.assemble_text(SOURCE)
+        plain = create_simulator(testmodel, "compiled")
+        plain.load_program(program)
+        plain.run(max_cycles=10_000)
+
+        profiled_sim = create_simulator(testmodel, "compiled")
+        profiled_sim.load_program(program)
+        Profiler(profiled_sim)
+        profiled_sim.run(max_cycles=10_000)
+
+        assert plain.state.differences(profiled_sim.state) == []
+        assert plain.cycles == profiled_sim.cycles
+
+    def test_static_kinds_rejected(self, testmodel, testmodel_tools):
+        program = testmodel_tools.assembler.assemble_text(SOURCE)
+        simulator = create_simulator(testmodel, "static")
+        simulator.load_program(program)
+        with pytest.raises(SimulationError):
+            Profiler(simulator)
+
+    def test_works_on_interpretive(self, testmodel, testmodel_tools):
+        program = testmodel_tools.assembler.assemble_text(SOURCE)
+        simulator = create_simulator(testmodel, "interpretive")
+        simulator.load_program(program)
+        profiler = Profiler(simulator)
+        simulator.run(max_cycles=10_000)
+        report = profiler.report()
+        assert report.issue_cycles > 0

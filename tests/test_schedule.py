@@ -1,0 +1,162 @@
+"""Tests for operation scheduling (decoded instruction -> stage plan)."""
+
+import pytest
+
+from repro.coding.decoder import InstructionDecoder
+from repro.coding.encoder import InstructionEncoder, OperandSpec
+from repro.lisa.semantics import compile_source
+from repro.machine.schedule import build_schedule
+from repro.support.errors import LisaSemanticError
+
+
+def decode(model, spec):
+    word = InstructionEncoder(model).encode(spec)
+    return InstructionDecoder(model).decode(word)
+
+
+def insn_spec(opname, mode=0, fields=None, children=None):
+    return OperandSpec(
+        "insn",
+        fields={"mode": mode},
+        children={"op": OperandSpec(opname, fields=fields or {},
+                                    children=children or {})},
+    )
+
+
+def reg_spec(index):
+    return OperandSpec("reg", fields={"idx": index})
+
+
+class TestBasicScheduling:
+    def test_single_stage_op(self, testmodel):
+        node = decode(testmodel, insn_spec(
+            "ldi", fields={"imm": 1}, children={"dst": reg_spec(0)}
+        ))
+        schedule = build_schedule(node, testmodel)
+        assert len(schedule) == 1
+        assert schedule[0].stage == 2  # EX
+        assert schedule[0].node.operation.name == "ldi"
+
+    def test_activation_into_later_stage(self, testmodel):
+        node = decode(testmodel, insn_spec(
+            "st", fields={"addr": 5}, children={"src": reg_spec(0)}
+        ))
+        schedule = build_schedule(node, testmodel)
+        stages = [(s.stage, s.node.operation.name) for s in schedule]
+        assert stages == [(2, "st"), (3, "note_store")]
+
+    def test_schedule_sorted_by_stage(self, testmodel):
+        node = decode(testmodel, insn_spec(
+            "st", fields={"addr": 5}, children={"src": reg_spec(0)}
+        ))
+        schedule = build_schedule(node, testmodel)
+        assert list(s.stage for s in schedule) == sorted(
+            s.stage for s in schedule
+        )
+
+    def test_variant_dependent_behavior(self, testmodel):
+        for mode in (0, 1):
+            node = decode(testmodel, insn_spec(
+                "add", mode=mode, children={
+                    "dst": reg_spec(0), "src1": reg_spec(1),
+                    "src2": reg_spec(2),
+                }
+            ))
+            schedule = build_schedule(node, testmodel)
+            assert len(schedule) == 1
+
+    def test_helper_node_parents_to_activator(self, testmodel):
+        node = decode(testmodel, insn_spec(
+            "st", fields={"addr": 9}, children={"src": reg_spec(0)}
+        ))
+        schedule = build_schedule(node, testmodel)
+        helper = schedule[-1].node
+        assert helper.operation.name == "note_store"
+        assert helper.parent.operation.name == "st"
+        # REFERENCE addr resolves through the parent.
+        assert helper.lookup("addr") == ("label", 9)
+
+
+class TestMultiStageChains:
+    SOURCE = """
+RESOURCE {
+    PROGRAM_COUNTER uint32 PC;
+    REGISTER int R[2];
+    MEMORY uint8 pmem[8];
+    PIPELINE pipe = { S0; S1; S2; S3 };
+}
+CONFIG { WORDSIZE(2); ROOT(insn); EXECUTE_STAGE(S1); }
+OPERATION insn {
+    DECLARE { GROUP op = { chainy }; }
+    CODING { op }
+    ACTIVATION { op }
+}
+OPERATION chainy IN pipe.S1 {
+    CODING { 0b01 }
+    BEHAVIOR { R[0] = R[0] + 1; }
+    ACTIVATION { later, same_stage }
+}
+OPERATION later IN pipe.S3 {
+    BEHAVIOR { R[1] = R[0]; }
+}
+OPERATION same_stage {
+    BEHAVIOR { R[0] = R[0] + 10; }
+}
+"""
+
+    def test_chain_stages(self):
+        model = compile_source(self.SOURCE)
+        node = InstructionDecoder(model).decode(0b01)
+        schedule = build_schedule(node, model)
+        plan = [(s.stage, s.node.operation.name) for s in schedule]
+        # same_stage has no stage of its own: inherits the activator's.
+        assert (1, "chainy") in plan
+        assert (1, "same_stage") in plan
+        assert (3, "later") in plan
+
+    def test_activation_cycle_detected(self):
+        source = self.SOURCE.replace(
+            "OPERATION same_stage {\n    BEHAVIOR { R[0] = R[0] + 10; }\n}",
+            "OPERATION same_stage {\n    BEHAVIOR { }\n"
+            "    ACTIVATION { chainy }\n}",
+        )
+        model = compile_source(source)
+        node = InstructionDecoder(model).decode(0b01)
+        with pytest.raises(LisaSemanticError):
+            build_schedule(node, model)
+
+
+class TestActivationThroughReference:
+    """An op may ACTIVATE a REFERENCEd operand: the helper fires
+    whatever sub-operation the ancestor decoded into that slot."""
+
+    SOURCE = """
+RESOURCE {
+    PROGRAM_COUNTER uint32 PC;
+    REGISTER int R[2];
+    MEMORY uint8 pmem[8];
+    PIPELINE pipe = { S0; S1; S2 };
+}
+CONFIG { WORDSIZE(2); ROOT(insn); EXECUTE_STAGE(S1); }
+OPERATION insn {
+    DECLARE { GROUP kid = { inc || dbl }; }
+    CODING { 0b0 kid }
+    ACTIVATION { relay }
+}
+OPERATION relay IN pipe.S1 {
+    DECLARE { REFERENCE kid; }
+    BEHAVIOR { R[1] = R[1] + 100; }
+    ACTIVATION { kid }
+}
+OPERATION inc IN pipe.S2 { CODING { 0b0 } BEHAVIOR { R[0] = R[0] + 1; } }
+OPERATION dbl IN pipe.S2 { CODING { 0b1 } BEHAVIOR { R[0] = R[0] * 2; } }
+"""
+
+    @pytest.mark.parametrize("word,opname", [(0b00, "inc"), (0b01, "dbl")])
+    def test_relayed_activation(self, word, opname):
+        model = compile_source(self.SOURCE)
+        node = InstructionDecoder(model).decode(word)
+        schedule = build_schedule(node, model)
+        plan = [(s.stage, s.node.operation.name) for s in schedule]
+        assert (1, "relay") in plan
+        assert (2, opname) in plan

@@ -1,0 +1,311 @@
+"""Tests for the LISA compiler (semantic analysis)."""
+
+import pytest
+
+from repro.lisa.semantics import compile_source
+from repro.support.errors import (
+    BehaviorError,
+    CodingError,
+    LisaSemanticError,
+)
+
+HEADER = """
+RESOURCE {
+    PROGRAM_COUNTER uint32 PC;
+    REGISTER int R[4];
+    MEMORY uint16 pmem[64];
+    MEMORY int dmem[16];
+    PIPELINE pipe = { FE; EX };
+}
+CONFIG { WORDSIZE(8); PROGRAM_MEMORY(pmem); ROOT(insn);
+         EXECUTE_STAGE(EX); }
+"""
+
+ROOT_OK = """
+OPERATION insn {
+    DECLARE { GROUP op = { alpha }; }
+    CODING { op }
+    ACTIVATION { op }
+}
+OPERATION alpha IN pipe.EX {
+    DECLARE { LABEL k; }
+    CODING { 0b0001 k[4] }
+    BEHAVIOR { R[0] = k; }
+}
+"""
+
+
+def compile_ok(extra="", header=HEADER, root=ROOT_OK):
+    return compile_source(header + root + extra)
+
+
+class TestResources:
+    def test_minimal_model_compiles(self):
+        model = compile_ok()
+        assert model.pc_name == "PC"
+        assert model.pipeline.depth == 2
+        assert model.word_size == 8
+
+    def test_missing_pc_rejected(self):
+        source = HEADER.replace("PROGRAM_COUNTER uint32 PC;", "")
+        with pytest.raises(LisaSemanticError):
+            compile_source(source + ROOT_OK)
+
+    def test_missing_pipeline_rejected(self):
+        source = HEADER.replace("PIPELINE pipe = { FE; EX };", "")
+        with pytest.raises(LisaSemanticError):
+            compile_source(source + ROOT_OK)
+
+    def test_duplicate_resource_rejected(self):
+        source = HEADER.replace(
+            "REGISTER int R[4];", "REGISTER int R[4]; REGISTER int R[2];"
+        )
+        with pytest.raises(LisaSemanticError):
+            compile_source(source + ROOT_OK)
+
+    def test_unknown_type_rejected(self):
+        source = HEADER.replace("REGISTER int R[4]", "REGISTER quux R[4]")
+        with pytest.raises(LisaSemanticError):
+            compile_source(source + ROOT_OK)
+
+    def test_zero_size_register_file_rejected(self):
+        source = HEADER.replace("REGISTER int R[4]", "REGISTER int R[0]")
+        with pytest.raises(LisaSemanticError):
+            compile_source(source + ROOT_OK)
+
+    def test_duplicate_pipeline_stage_rejected(self):
+        source = HEADER.replace("{ FE; EX }", "{ FE; FE }")
+        with pytest.raises(LisaSemanticError):
+            compile_source(source + ROOT_OK)
+
+
+class TestConfig:
+    def test_unknown_key_rejected(self):
+        source = HEADER.replace("WORDSIZE(8);", "WORDSIZE(8); FROBNICATE(1);")
+        with pytest.raises(LisaSemanticError):
+            compile_source(source + ROOT_OK)
+
+    def test_program_memory_must_exist(self):
+        source = HEADER.replace("PROGRAM_MEMORY(pmem)", "PROGRAM_MEMORY(nope)")
+        with pytest.raises(LisaSemanticError):
+            compile_source(source + ROOT_OK)
+
+    def test_program_memory_inferred_when_unique(self):
+        source = HEADER.replace("MEMORY int dmem[16];", "").replace(
+            "PROGRAM_MEMORY(pmem); ", ""
+        )
+        model = compile_source(source + ROOT_OK.replace("dmem", "pmem"))
+        assert model.config.program_memory == "pmem"
+
+    def test_program_memory_required_when_ambiguous(self):
+        source = HEADER.replace("PROGRAM_MEMORY(pmem); ", "")
+        with pytest.raises(LisaSemanticError):
+            compile_source(source + ROOT_OK)
+
+    def test_narrow_program_memory_rejected(self):
+        source = HEADER.replace("WORDSIZE(8)", "WORDSIZE(32)")
+        with pytest.raises(LisaSemanticError):
+            compile_source(source + ROOT_OK)
+
+    def test_vliw_needs_parallel_bit(self):
+        source = HEADER.replace("WORDSIZE(8);", "WORDSIZE(8); FETCH_PACKET(4);")
+        with pytest.raises(LisaSemanticError):
+            compile_source(source + ROOT_OK)
+
+    def test_parallel_bit_must_be_inside_word(self):
+        source = HEADER.replace(
+            "WORDSIZE(8);", "WORDSIZE(8); FETCH_PACKET(4); PARALLEL_BIT(9);"
+        )
+        with pytest.raises(LisaSemanticError):
+            compile_source(source + ROOT_OK)
+
+    def test_branch_policy_validated(self):
+        source = HEADER.replace(
+            "EXECUTE_STAGE(EX);", "EXECUTE_STAGE(EX); BRANCH_POLICY(maybe);"
+        )
+        with pytest.raises(LisaSemanticError):
+            compile_source(source + ROOT_OK)
+
+    def test_defines_available(self):
+        source = HEADER.replace("WORDSIZE(8);", "WORDSIZE(8); DEFINE(K, 7);")
+        model = compile_source(source + ROOT_OK)
+        assert model.config.defines["K"] == 7
+
+
+class TestOperations:
+    def test_duplicate_operation_rejected(self):
+        with pytest.raises(LisaSemanticError):
+            compile_ok("OPERATION alpha { CODING { 0b1 } }")
+
+    def test_root_must_exist(self):
+        source = HEADER.replace("ROOT(insn)", "ROOT(ghost)")
+        with pytest.raises(LisaSemanticError):
+            compile_source(source + ROOT_OK)
+
+    def test_root_must_have_coding(self):
+        source = HEADER + """
+OPERATION insn { BEHAVIOR { } }
+"""
+        with pytest.raises(LisaSemanticError):
+            compile_source(source)
+
+    def test_root_width_must_match_wordsize(self):
+        bad_root = ROOT_OK.replace("0b0001 k[4]", "0b0001 k[5]")
+        with pytest.raises(CodingError):
+            compile_source(HEADER + bad_root)
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(LisaSemanticError):
+            compile_ok("OPERATION beta IN pipe.XY { CODING { 0b1 } }")
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(LisaSemanticError):
+            compile_ok("OPERATION beta IN bogus.EX { CODING { 0b1 } }")
+
+    def test_conditional_declare_rejected(self):
+        with pytest.raises(LisaSemanticError):
+            compile_ok(
+                "OPERATION beta { IF (x == 0) { DECLARE { LABEL y; } } }"
+            )
+
+    def test_conditional_coding_rejected(self):
+        with pytest.raises(LisaSemanticError):
+            compile_ok(
+                "OPERATION beta { DECLARE { LABEL x; } "
+                "IF (x == 0) { CODING { 0b1 } } }"
+            )
+
+    def test_two_codings_rejected(self):
+        with pytest.raises(LisaSemanticError):
+            compile_ok("OPERATION beta { CODING { 0b1 } CODING { 0b0 } }")
+
+    def test_label_in_coding_needs_width(self):
+        with pytest.raises(LisaSemanticError):
+            compile_ok(
+                "OPERATION beta { DECLARE { LABEL x; } CODING { x } }"
+            )
+
+    def test_coding_of_undeclared_name_rejected(self):
+        with pytest.raises(LisaSemanticError):
+            compile_ok("OPERATION beta { CODING { mystery[3] } }")
+
+    def test_duplicate_operand_rejected(self):
+        with pytest.raises(LisaSemanticError):
+            compile_ok(
+                "OPERATION beta { DECLARE { LABEL x; LABEL x; } "
+                "CODING { x[2] } }"
+            )
+
+
+class TestGroupWidths:
+    def test_unequal_alternative_widths_rejected(self):
+        source = HEADER + """
+OPERATION insn {
+    DECLARE { GROUP op = { alpha || beta }; }
+    CODING { op }
+}
+OPERATION alpha { CODING { 0b00000001 } }
+OPERATION beta { CODING { 0b0001 } }
+"""
+        with pytest.raises(CodingError):
+            compile_source(source)
+
+    def test_recursive_coding_rejected(self):
+        source = HEADER + """
+OPERATION insn {
+    DECLARE { GROUP op = { insn }; }
+    CODING { op }
+}
+"""
+        with pytest.raises(CodingError):
+            compile_source(source)
+
+    def test_alternative_without_coding_rejected(self):
+        source = HEADER + """
+OPERATION insn {
+    DECLARE { GROUP op = { alpha }; }
+    CODING { op }
+}
+OPERATION alpha { BEHAVIOR { } }
+"""
+        with pytest.raises(CodingError):
+            compile_source(source)
+
+    def test_ambiguous_alternatives_rejected(self):
+        source = HEADER + """
+OPERATION insn {
+    DECLARE { GROUP op = { alpha || beta }; }
+    CODING { op }
+}
+OPERATION alpha { DECLARE { LABEL k; } CODING { 0b0 k[7] } }
+OPERATION beta { DECLARE { LABEL k; } CODING { 0bx k[7] } }
+"""
+        with pytest.raises(CodingError):
+            compile_source(source)
+
+
+class TestNameChecking:
+    def test_behavior_unknown_name_rejected(self):
+        with pytest.raises(LisaSemanticError):
+            compile_ok(
+                "OPERATION beta { CODING { 0b1 } BEHAVIOR { R[0] = ghost; } }"
+            )
+
+    def test_behavior_local_is_allowed(self):
+        model = compile_ok(
+            "OPERATION beta { CODING { 0b1 } "
+            "BEHAVIOR { int t = 3; R[0] = t; } }"
+        )
+        assert "beta" in model.operations
+
+    def test_behavior_syntax_error_reported_with_op_name(self):
+        with pytest.raises(BehaviorError) as exc_info:
+            compile_ok("OPERATION beta { CODING { 0b1 } BEHAVIOR { x += ; } }")
+        assert "beta" in str(exc_info.value)
+
+    def test_activation_of_unknown_name_rejected(self):
+        with pytest.raises(LisaSemanticError):
+            compile_ok(
+                "OPERATION beta { CODING { 0b1 } ACTIVATION { ghost } }"
+            )
+
+    def test_activation_into_earlier_stage_rejected(self):
+        source = HEADER + """
+OPERATION insn {
+    DECLARE { GROUP op = { alpha }; }
+    CODING { op }
+    ACTIVATION { op }
+}
+OPERATION alpha IN pipe.EX {
+    CODING { 0b00000001 }
+    ACTIVATION { early }
+}
+OPERATION early IN pipe.FE { BEHAVIOR { } }
+"""
+        with pytest.raises(LisaSemanticError):
+            compile_source(source)
+
+    def test_unsatisfiable_reference_rejected(self):
+        source = HEADER + ROOT_OK + """
+OPERATION orphan {
+    DECLARE { REFERENCE nothing_declares_this; }
+    CODING { 0b00000010 }
+    BEHAVIOR { R[0] = nothing_declares_this; }
+}
+"""
+        with pytest.raises(LisaSemanticError):
+            compile_source(source)
+
+
+class TestDiagnostics:
+    def test_unused_operation_warned(self):
+        model = compile_ok("OPERATION lonely { CODING { 0b11111111 } }")
+        warnings = [d.message for d in model.diagnostics.warnings]
+        assert any("lonely" in w for w in warnings)
+
+    def test_operand_shadowing_resource_warned(self):
+        model = compile_ok(
+            "OPERATION shady { DECLARE { LABEL R; } CODING { R[2] } }"
+        )
+        warnings = [d.message for d in model.diagnostics.warnings]
+        assert any("shadows" in w for w in warnings)

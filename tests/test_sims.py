@@ -1,0 +1,242 @@
+"""Cross-cutting simulator tests: agreement, lifecycle, statistics."""
+
+import pytest
+
+from repro.sim import SIM_KINDS, create_simulator
+from repro.support.errors import ReproError, SimulationError
+
+PROGRAMS = {
+    "straight_line": """
+        ldi r1, 5
+        add r2, r1, r1
+        st r2, 3
+        halt
+""",
+    "loop": """
+        ldi r1, 6
+        ldi r2, -1
+loop:   add r3, r3, r1
+        add r1, r1, r2
+        brnz r1, loop
+        st r3, 5
+        halt
+""",
+    "branch_dance": """
+        ldi r1, 1
+        brnz r1, a
+        ldi r4, 9
+a:      brnz r1, b
+        ldi r5, 9
+b:      ldi r6, 2
+        halt
+""",
+    "saturating_modes": """
+        ldi r1, 127
+        add r1, r1, r1
+        add r1, r1, r1
+        add r1, r1, r1
+        add r1, r1, r1
+        add r1, r1, r1
+        add r1, r1, r1
+        add r1, r1, r1     ; r1 = 127 * 128 = 16256
+        add r2, r1, r1     ; 32512
+        addl r3, r1, r2    ; mode bit set: saturates to 8 bits (127)
+        add r4, r1, r2     ; mode bit clear: wraps in 32 bits
+        st r3, 1
+        halt
+""",
+}
+
+
+def run_program(testmodel, testmodel_tools, source, kind):
+    program = testmodel_tools.assembler.assemble_text(source)
+    simulator = create_simulator(testmodel, kind)
+    simulator.load_program(program)
+    stats = simulator.run(max_cycles=100_000)
+    return simulator, stats
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_all_kinds_bit_identical(self, testmodel, testmodel_tools, name):
+        source = PROGRAMS[name]
+        reference = None
+        for kind in SIM_KINDS:
+            simulator, stats = run_program(
+                testmodel, testmodel_tools, source, kind
+            )
+            signature = (
+                stats.cycles, stats.instructions,
+                simulator.state.snapshot(),
+            )
+            if reference is None:
+                reference = signature
+            else:
+                assert signature == reference, (
+                    "%s disagrees on %s" % (kind, name)
+                )
+
+
+class TestLifecycle:
+    def test_run_without_program_rejected(self, testmodel):
+        simulator = create_simulator(testmodel, "compiled")
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_reset_reruns_identically(self, testmodel, testmodel_tools):
+        simulator, stats = run_program(
+            testmodel, testmodel_tools, PROGRAMS["loop"], "compiled"
+        )
+        first = (stats.cycles, simulator.state.snapshot())
+        simulator.reset()
+        stats2 = simulator.run(max_cycles=100_000)
+        assert (stats2.cycles, simulator.state.snapshot()) == first
+
+    def test_reset_without_program_rejected(self, testmodel):
+        simulator = create_simulator(testmodel, "interpretive")
+        with pytest.raises(SimulationError):
+            simulator.reset()
+
+    def test_halted_property(self, testmodel, testmodel_tools):
+        program = testmodel_tools.assembler.assemble_text("halt")
+        simulator = create_simulator(testmodel, "compiled")
+        simulator.load_program(program)
+        assert not simulator.halted
+        simulator.run()
+        assert simulator.halted
+
+    def test_step_advances_one_cycle(self, testmodel, testmodel_tools):
+        program = testmodel_tools.assembler.assemble_text("nop\nhalt\n")
+        simulator = create_simulator(testmodel, "compiled")
+        simulator.load_program(program)
+        simulator.step()
+        assert simulator.cycles == 1
+
+    def test_unknown_kind_rejected(self, testmodel):
+        with pytest.raises(ReproError):
+            create_simulator(testmodel, "quantum")
+
+    def test_kind_attribute(self, testmodel):
+        for kind in SIM_KINDS:
+            assert create_simulator(testmodel, kind).kind == kind
+
+
+class TestStats:
+    def test_cpi(self, testmodel, testmodel_tools):
+        simulator, stats = run_program(
+            testmodel, testmodel_tools, PROGRAMS["straight_line"],
+            "compiled",
+        )
+        assert stats.instructions == 4
+        assert stats.cpi == stats.cycles / 4
+
+    def test_cpi_with_no_instructions(self, testmodel):
+        from repro.sim.base import SimulationStats
+
+        assert SimulationStats(cycles=5, instructions=0).cpi == float("inf")
+
+
+class TestRunaway:
+    def test_infinite_loop_hits_cycle_limit(self, testmodel,
+                                            testmodel_tools):
+        source = """
+        ldi r1, 1
+loop:   brnz r1, loop
+"""
+        for kind in ("interpretive", "compiled", "static"):
+            program = testmodel_tools.assembler.assemble_text(source)
+            simulator = create_simulator(testmodel, kind)
+            simulator.load_program(program)
+            with pytest.raises(SimulationError):
+                simulator.run(max_cycles=500)
+
+    def test_running_off_the_end_traps(self, testmodel, testmodel_tools):
+        program = testmodel_tools.assembler.assemble_text("nop\nnop\n")
+        for kind in ("interpretive", "compiled", "static"):
+            simulator = create_simulator(testmodel, kind)
+            simulator.load_program(program)
+            with pytest.raises(SimulationError):
+                simulator.run(max_cycles=1000)
+
+
+class TestStaticDriverInternals:
+    def test_windows_interned_and_reused(self, testmodel, testmodel_tools):
+        simulator, _ = run_program(
+            testmodel, testmodel_tools, PROGRAMS["loop"], "static"
+        )
+        engine = simulator.engine
+        # The loop revisits occupancies: far fewer nodes than cycles.
+        assert len(engine._interned) < simulator.cycles
+
+    def test_flush_reinterns_squashed_window(self, testmodel,
+                                             testmodel_tools):
+        simulator, _ = run_program(
+            testmodel, testmodel_tools, PROGRAMS["branch_dance"], "static"
+        )
+        # Some interned windows contain bubbles from squashes.
+        has_bubbles = any(
+            any(pc is None for pc in pcs) and any(pc is not None
+                                                  for pc in pcs)
+            for pcs in simulator.engine._interned
+        )
+        assert has_bubbles
+
+    def test_control_windows_not_composed(self, testmodel, testmodel_tools):
+        simulator, _ = run_program(
+            testmodel, testmodel_tools, PROGRAMS["loop"], "static"
+        )
+        nodes = simulator.engine._interned.values()
+        assert any(node.column is None for node in nodes)  # brnz windows
+        assert any(node.column is not None for node in nodes)
+
+
+class TestDebuggerPrimitives:
+    def test_run_to_pc_breakpoint(self, testmodel, testmodel_tools):
+        simulator, _ = run_program(
+            testmodel, testmodel_tools, PROGRAMS["straight_line"],
+            "compiled",
+        )
+        simulator.reset()
+        hit = simulator.run_to_pc(2)
+        assert hit
+        assert simulator.state.pc == 2
+        # The instruction at pc 2 has not executed yet (hardware-style).
+        assert simulator.state.dmem[3] == 0
+        simulator.run()
+        assert simulator.state.dmem[3] == 10
+
+    def test_run_until_watchpoint(self, testmodel, testmodel_tools):
+        simulator, _ = run_program(
+            testmodel, testmodel_tools, PROGRAMS["loop"], "compiled"
+        )
+        simulator.reset()
+        fired = simulator.run_until(lambda s: s.state.R[3] >= 11)
+        assert fired
+        assert simulator.state.R[3] == 11  # 6 + 5, mid-loop
+
+    def test_run_until_returns_false_on_halt(self, testmodel,
+                                             testmodel_tools):
+        simulator, _ = run_program(
+            testmodel, testmodel_tools, PROGRAMS["straight_line"],
+            "compiled",
+        )
+        simulator.reset()
+        assert not simulator.run_until(lambda s: False, max_cycles=10_000)
+        assert simulator.halted
+
+    def test_run_until_cycle_cap(self, testmodel, testmodel_tools):
+        source = "ldi r1, 1\nloop: brnz r1, loop\n"
+        program = testmodel_tools.assembler.assemble_text(source)
+        from repro.sim import create_simulator
+
+        simulator = create_simulator(testmodel, "compiled")
+        simulator.load_program(program)
+        with pytest.raises(SimulationError):
+            simulator.run_until(lambda s: False, max_cycles=100)
+
+    def test_works_on_static_engine(self, testmodel, testmodel_tools):
+        simulator, _ = run_program(
+            testmodel, testmodel_tools, PROGRAMS["loop"], "static"
+        )
+        simulator.reset()
+        assert simulator.run_to_pc(3)
