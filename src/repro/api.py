@@ -7,11 +7,42 @@ simulators), and run programs.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.lisa.semantics import compile_source
 from repro.support.errors import ReproError
+
+
+def default_cache_dir():
+    """The default on-disk location for the simulation-table cache.
+
+    ``REPRO_CACHE_DIR`` overrides; otherwise a per-user cache directory.
+    """
+    configured = os.environ.get("REPRO_CACHE_DIR")
+    if configured:
+        return configured
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro", "simtab"
+    )
+
+
+def open_cache(path=None, max_memory_entries=8):
+    """Open (creating lazily on first store) a persistent cache for
+    compiled simulation tables.
+
+    Pass the returned object as the ``cache=`` argument of
+    :meth:`Toolset.new_simulator` /
+    :func:`repro.sim.create_simulator`: simulation compilation then
+    runs at most once per (model, program, level) across processes.
+    """
+    from repro.simcc.cache import SimulationCache
+
+    return SimulationCache(
+        path if path is not None else default_cache_dir(),
+        max_memory_entries=max_memory_entries,
+    )
 
 
 def compile_lisa_source(source, filename="<string>"):
@@ -93,17 +124,21 @@ class Toolset:
             self._cache["simcc"] = generate_simulation_compiler(self.model)
         return self._cache["simcc"]
 
-    def new_simulator(self, kind="compiled"):
+    def new_simulator(self, kind="compiled", cache=None, jobs=None):
         """Create a fresh simulator.
 
         ``kind`` is one of ``interpretive``, ``predecoded`` (compiled
         level 1), ``compiled`` (level 2, dynamic scheduling), ``static``
         (level 2, static scheduling) or ``unfolded`` (level 3, operation
         instantiation).
+
+        ``cache`` (see :func:`open_cache`) makes load-time simulation
+        compilation persistent across runs; ``jobs`` parallelises cold
+        compiles.
         """
         from repro.sim import create_simulator
 
-        return create_simulator(self.model, kind)
+        return create_simulator(self.model, kind, cache=cache, jobs=jobs)
 
 
 def build_toolset(model):

@@ -13,6 +13,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -68,16 +69,23 @@ def lisa_main(argv=None):
 
             print(model_to_json(model))
             return 0
-        print(model.describe())
         for diagnostic in getattr(model, "diagnostics", []):
             print(diagnostic, file=sys.stderr)
-        if args.time:
-            print("model translation time: %.3f s" % elapsed)
         if args.emit_simulator:
+            # Only the module on stdout, so `> simulator.py` yields a
+            # runnable file; the report moves to stderr.
+            print(model.describe(), file=sys.stderr)
+            if args.time:
+                print("model translation time: %.3f s" % elapsed,
+                      file=sys.stderr)
             from repro.simcc import emit_simulator_module
 
             program = Program.load(args.emit_simulator)
             print(emit_simulator_module(model, program))
+        else:
+            print(model.describe())
+            if args.time:
+                print("model translation time: %.3f s" % elapsed)
     except ReproError as exc:
         parser.exit(1, "error: %s\n" % exc)
     return 0
@@ -151,6 +159,22 @@ def sim_main(argv=None):
     parser.add_argument(
         "--stats", action="store_true", help="print timing statistics",
     )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        default=os.environ.get("REPRO_CACHE_DIR"),
+        help="persist compiled simulation tables under DIR so repeat "
+        "runs skip simulation compilation (default: $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the simulation-table cache even if --cache-dir "
+        "or $REPRO_CACHE_DIR is set",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="parallelise simulation compilation over N workers "
+        "(-1 = one per CPU)",
+    )
     args = parser.parse_args(argv)
     try:
         model = _resolve_model(args.model)
@@ -160,7 +184,14 @@ def sim_main(argv=None):
             )
         else:
             program = Program.load(args.program)
-        simulator = create_simulator(model, args.kind)
+        cache = None
+        if args.cache_dir and not args.no_cache:
+            from repro.simcc.cache import SimulationCache
+
+            cache = SimulationCache(args.cache_dir)
+        simulator = create_simulator(
+            model, args.kind, cache=cache, jobs=args.jobs
+        )
         load_start = time.perf_counter()
         simulator.load_program(program)
         load_time = time.perf_counter() - load_start
@@ -177,6 +208,13 @@ def sim_main(argv=None):
                 % (load_time, run_time,
                    stats.cycles / run_time if run_time else float("inf"))
             )
+            if cache is not None:
+                print(
+                    "cache: %s"
+                    % "  ".join(
+                        "%s=%d" % item for item in cache.stats.items()
+                    )
+                )
         for dump in args.dump:
             _dump_memory(simulator.state, dump)
     except ReproError as exc:

@@ -28,6 +28,7 @@ Cycle semantics (one :meth:`Pipeline.step`):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Optional, Tuple
 
 from repro.support.errors import SimulationError
@@ -67,8 +68,6 @@ def trap_slot(model, message):
     never fires.  If one *does* reach its execute stage, the program
     really ran into undefined memory and the trap reports it.
     """
-    from repro.support.errors import SimulationError
-
     if model.config.execute_stage is not None:
         stage = model.pipeline.stage_index(model.config.execute_stage)
     else:
@@ -87,6 +86,12 @@ def trap_slot(model, message):
 class Pipeline:
     """Drives issue slots through the model's pipeline stages."""
 
+    __slots__ = (
+        "_model", "_state", "_control", "_frontend", "_pc_name",
+        "_depth", "_watcher", "_read_pc", "_write_pc", "slots",
+        "cycles", "instructions_retired",
+    )
+
     def __init__(self, model, state, control, frontend, watcher=None):
         self._model = model
         self._state = state
@@ -95,6 +100,10 @@ class Pipeline:
         self._pc_name = model.pc_name
         self._depth = model.pipeline.depth
         self._watcher = watcher
+        # Bound accessors so the hot loop skips the per-cycle attribute
+        # name lookup (the PC register is fixed for the model's lifetime).
+        self._read_pc = partial(getattr, state, self._pc_name)
+        self._write_pc = partial(setattr, state, self._pc_name)
         self.slots = [None] * self._depth
         self.cycles = 0
         self.instructions_retired = 0
@@ -132,11 +141,10 @@ class Pipeline:
             control.stall_cycles -= 1
             incoming = None
         else:
-            state = self._state
-            pc = getattr(state, self._pc_name)
+            pc = self._read_pc()
             incoming = self._frontend(pc)
             if incoming is not None:
-                setattr(state, self._pc_name, pc + incoming.words)
+                self._write_pc(pc + incoming.words)
         slots.insert(0, incoming)
 
         # -- execute (oldest first) + same-cycle flush ---------------------

@@ -37,20 +37,30 @@ SIM_KINDS = (
 )
 
 
-def create_simulator(model, kind="compiled"):
-    """Instantiate a simulator of the given ``kind`` for ``model``."""
+def create_simulator(model, kind="compiled", cache=None, jobs=None):
+    """Instantiate a simulator of the given ``kind`` for ``model``.
+
+    ``cache`` (a :class:`repro.simcc.cache.SimulationCache`) and
+    ``jobs`` tune load-time simulation compilation and only apply to
+    the table-based kinds; the interpretive and predecoded simulators
+    do no load-time compilation and ignore them.
+    """
     if kind == "interpretive":
         return InterpretiveSimulator(model)
     if kind == "predecoded":
         return PredecodedSimulator(model)
     if kind == "compiled":
-        return CompiledSimulator(model, level="sequenced")
+        return CompiledSimulator(model, level="sequenced",
+                                 cache=cache, jobs=jobs)
     if kind == "unfolded":
-        return CompiledSimulator(model, level="instantiated")
+        return CompiledSimulator(model, level="instantiated",
+                                 cache=cache, jobs=jobs)
     if kind == "static":
-        return StaticScheduledSimulator(model, level="sequenced")
+        return StaticScheduledSimulator(model, level="sequenced",
+                                        cache=cache, jobs=jobs)
     if kind == "unfolded_static":
-        return StaticScheduledSimulator(model, level="instantiated")
+        return StaticScheduledSimulator(model, level="instantiated",
+                                        cache=cache, jobs=jobs)
     raise ReproError(
         "unknown simulator kind %r (expected one of %s)"
         % (kind, ", ".join(SIM_KINDS))

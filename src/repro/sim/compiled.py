@@ -18,10 +18,20 @@ from repro.simcc.generator import generate_simulation_compiler
 
 
 class CompiledSimulator(Simulator):
-    def __init__(self, model, level="sequenced"):
+    """Compiled simulator.
+
+    ``cache`` accepts a :class:`repro.simcc.cache.SimulationCache`; when
+    set, load-time simulation compilation is replaced by a cache lookup
+    (compiling and storing on the first miss).  ``jobs`` fans a cold
+    compile out over a worker pool (see :mod:`repro.simcc.parallel`).
+    """
+
+    def __init__(self, model, level="sequenced", cache=None, jobs=None):
         super().__init__(model)
         self._level = level
         self._simcc = generate_simulation_compiler(model, validate=False)
+        self._cache = cache
+        self._jobs = jobs
         self.table = None
 
     @property
@@ -32,11 +42,22 @@ class CompiledSimulator(Simulator):
     def level(self):
         return self._level
 
+    @property
+    def cache(self):
+        return self._cache
+
     def _build_engine(self, program):
         # Simulation compilation happens here, at load time.
-        self.table = self._simcc.compile(
-            program, self.state, self.control, level=self._level
-        )
+        if self._cache is not None:
+            self.table = self._cache.load_table(
+                self._simcc, program, self.state, self.control,
+                level=self._level, jobs=self._jobs,
+            )
+        else:
+            self.table = self._simcc.compile(
+                program, self.state, self.control, level=self._level,
+                jobs=self._jobs,
+            )
         return Pipeline(
             self.model, self.state, self.control,
             self.table.make_frontend(self.model),

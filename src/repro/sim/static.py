@@ -28,6 +28,8 @@ static columns.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.behavior.codegen import BehaviorCodegen
 from repro.sim.base import Simulator
 from repro.simcc.generator import generate_simulation_compiler
@@ -51,6 +53,13 @@ class _WindowNode:
 class StaticPipeline:
     """Pipeline driver running statically scheduled columns."""
 
+    __slots__ = (
+        "_model", "_state", "_control", "_table", "_frontend",
+        "_column_compiler", "_pc_name", "_depth", "_read_pc",
+        "_write_pc", "_interned", "_root", "_node", "cycles",
+        "instructions_retired",
+    )
+
     def __init__(self, model, state, control, table, column_compiler=None):
         self._model = model
         self._state = state
@@ -60,6 +69,10 @@ class StaticPipeline:
         self._column_compiler = column_compiler
         self._pc_name = model.pc_name
         self._depth = model.pipeline.depth
+        # Bound accessors: the hot loop reads/writes the PC every cycle
+        # and the register name never changes after construction.
+        self._read_pc = partial(getattr, state, self._pc_name)
+        self._write_pc = partial(setattr, state, self._pc_name)
         self._interned = {}
         self._root = self._intern((None,) * self._depth, (None,) * self._depth)
         self._node = self._root
@@ -144,15 +157,12 @@ class StaticPipeline:
             control.stall_cycles -= 1
             next_node = self._advance_node(node, None, None)
         else:
-            state = self._state
-            pc = getattr(state, self._pc_name)
+            pc = self._read_pc()
             next_node = node.next.get(pc)
             if next_node is None:
                 slot = self._frontend(pc)
                 next_node = self._advance_node(node, pc, slot)
-            setattr(
-                state, self._pc_name, pc + next_node.slots[0].words
-            )
+            self._write_pc(pc + next_node.slots[0].words)
 
         # -- execute ---------------------------------------------------------
         column = next_node.column
@@ -205,12 +215,21 @@ class StaticPipeline:
 
 
 class StaticScheduledSimulator(Simulator):
-    """Simulation-table simulator with static scheduling."""
+    """Simulation-table simulator with static scheduling.
 
-    def __init__(self, model, level="sequenced"):
+    ``cache``/``jobs`` behave as on
+    :class:`repro.sim.compiled.CompiledSimulator`.  A cache-rehydrated
+    table carries generated functions but no decoded items, so level-3
+    column *fusion* degrades gracefully to column *composition* (the
+    flattened per-stage function list) -- scheduling is still static.
+    """
+
+    def __init__(self, model, level="sequenced", cache=None, jobs=None):
         super().__init__(model)
         self._level = level
         self._simcc = generate_simulation_compiler(model, validate=False)
+        self._cache = cache
+        self._jobs = jobs
         self.table = None
         self._column_counter = 0
 
@@ -225,9 +244,16 @@ class StaticScheduledSimulator(Simulator):
         return self._level
 
     def _build_engine(self, program):
-        self.table = self._simcc.compile(
-            program, self.state, self.control, level=self._level
-        )
+        if self._cache is not None:
+            self.table = self._cache.load_table(
+                self._simcc, program, self.state, self.control,
+                level=self._level, jobs=self._jobs,
+            )
+        else:
+            self.table = self._simcc.compile(
+                program, self.state, self.control, level=self._level,
+                jobs=self._jobs,
+            )
         column_compiler = None
         if self._level == "instantiated":
             column_compiler = self._compile_column
@@ -238,8 +264,12 @@ class StaticScheduledSimulator(Simulator):
 
     def _compile_column(self, pcs, slots):
         """Fuse a whole pipeline column into one generated function."""
-        items = []
         table = self.table
+        if table.items_by_stage is None:
+            # Rehydrated table: no decoded items to re-specialise; let
+            # the caller compose the column from per-stage functions.
+            return None
+        items = []
         for stage in range(self.model.pipeline.depth - 1, -1, -1):
             if pcs[stage] is not None:
                 items.extend(table.items_by_stage[pcs[stage]][stage])

@@ -19,10 +19,16 @@ Levels of compiled simulation (paper Section 3):
 from repro.simcc.compiler import SimulationCompiler, SimulationTable
 from repro.simcc.generator import generate_simulation_compiler
 from repro.simcc.emit import emit_simulator_module
+from repro.simcc.portable import PortableTable, build_portable_table
+from repro.simcc.cache import SimulationCache, table_digest
 
 __all__ = [
     "SimulationCompiler",
     "SimulationTable",
     "generate_simulation_compiler",
     "emit_simulator_module",
+    "PortableTable",
+    "build_portable_table",
+    "SimulationCache",
+    "table_digest",
 ]

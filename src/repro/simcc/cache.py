@@ -1,0 +1,273 @@
+"""Persistent, content-addressed cache for compiled simulations.
+
+The paper's thesis is moving work from simulation run-time to
+simulation compile-time; this module moves it further -- out of the
+process entirely.  A compiled simulation (as a state-independent
+:class:`repro.simcc.portable.PortableTable`) is stored on disk keyed by
+a digest of everything that determines its content:
+
+* the LISA model data base (the JSON dump plus a stable rendering of
+  every behaviour/guard AST, so editing an operation's arithmetic
+  invalidates dependent tables),
+* the program bytes (the serialised object file),
+* the simulation level.
+
+Any change to model, program or level therefore produces a different
+key -- invalidation is automatic and exact, and entries never go stale.
+
+Entry format (versioned): a magic line followed by one :mod:`marshal`
+payload holding the table spec, the generated function sources, and
+the pre-compiled code object.  Marshal is the same machinery behind
+``.pyc`` files: loading is a single fast C pass and the code object
+needs no re-parse.  Because marshal bytecode is CPython-version
+specific, entries live under a ``v<format>-cp<maj><min>`` namespace;
+a different interpreter simply misses and recompiles rather than
+misreading.  Corrupt entries (truncation, bit-rot, concurrent writer
+crashes) are detected, quarantined (deleted) and treated as misses.
+
+An in-process LRU of rehydrated tables sits in front of the disk
+store, so repeated loads of the same program in one process skip even
+the ``exec``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import marshal
+import os
+import sys
+import tempfile
+from collections import OrderedDict
+
+from repro.lisa.database import model_to_json
+from repro.simcc.portable import PortableTable
+
+#: Bump when the entry layout or the portable-table payload changes.
+FORMAT_VERSION = 1
+
+_MAGIC = b"repro-simtab\n"
+
+
+def _version_tag():
+    return "v%d-cp%d%d" % (
+        FORMAT_VERSION, sys.version_info[0], sys.version_info[1]
+    )
+
+
+# -- digests -----------------------------------------------------------------
+
+
+def _stable_ast_repr(model):
+    """A deterministic rendering of every behaviour-relevant AST.
+
+    ``model_to_json`` summarises behaviours structurally (it is a
+    description, not an executable image), so two models differing only
+    in an operation's arithmetic could dump identically.  Behaviour,
+    expression and guard ASTs are frozen dataclasses whose ``repr`` is
+    fully value-based, which makes them safe digest material.
+    """
+    from repro.lisa import model as m
+
+    parts = []
+    for op in model.operations.values():
+        parts.append(op.name)
+        for item in op.items:
+            if isinstance(item, (m.IfSections, m.SwitchSections)):
+                parts.append(repr(item))
+        for items in op.all_section_variants():
+            for item in items:
+                if isinstance(item, (m.Behavior, m.Expression, m.Activation)):
+                    parts.append(repr(item))
+    return "\n".join(parts)
+
+
+def model_digest(model):
+    """Hex digest of the model data base (cached on the model)."""
+    cached = getattr(model, "_simtab_digest", None)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    digest.update(model_to_json(model).encode("utf-8"))
+    digest.update(_stable_ast_repr(model).encode("utf-8"))
+    digest = digest.hexdigest()
+    try:
+        model._simtab_digest = digest
+    except AttributeError:
+        pass
+    return digest
+
+
+def table_digest(model, program, level):
+    """The content address of one compiled simulation."""
+    digest = hashlib.sha256()
+    digest.update(b"repro-simtab:%d\n" % FORMAT_VERSION)
+    digest.update(model_digest(model).encode("ascii"))
+    digest.update(b"\n")
+    digest.update(
+        json.dumps(program.to_dict(), sort_keys=True).encode("utf-8")
+    )
+    digest.update(b"\n")
+    digest.update(level.encode("utf-8"))
+    return digest.hexdigest()
+
+
+# -- the cache ---------------------------------------------------------------
+
+
+class SimulationCache:
+    """On-disk simulation-table cache with an in-process LRU in front.
+
+    ``stats`` counts ``memory_hits``, ``disk_hits``, ``misses``,
+    ``stores``, ``store_errors``, and ``corrupt_entries`` for
+    observability; the CLI prints them under ``--stats``.
+    """
+
+    def __init__(self, root, max_memory_entries=8):
+        self.root = os.fspath(root)
+        self._max_memory = max(0, int(max_memory_entries))
+        self._memory = OrderedDict()
+        self.stats = {
+            "memory_hits": 0,
+            "disk_hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "store_errors": 0,
+            "corrupt_entries": 0,
+        }
+
+    # -- high-level entry point ---------------------------------------------
+
+    def load_table(self, compiler, program, state, control,
+                   level="sequenced", jobs=None):
+        """Get-or-compile a simulation table bound to ``state``/``control``.
+
+        On a hit the simulation compiler never runs: the portable table
+        is rehydrated from memory or disk and bound.  On a miss the
+        program is compiled (``jobs`` fans the work out), stored, and
+        bound.
+        """
+        portable = self.load_portable(compiler.model, program, level)
+        if portable is None:
+            portable = compiler.compile_portable(program, level=level,
+                                                 jobs=jobs)
+            self.store_portable(compiler.model, program, level, portable)
+        return portable.bind(state, control)
+
+    # -- portable-table access ----------------------------------------------
+
+    def load_portable(self, model, program, level):
+        """The cached portable table, or None on a miss."""
+        digest = table_digest(model, program, level)
+        portable = self._memory_get(digest)
+        if portable is not None:
+            self.stats["memory_hits"] += 1
+            return portable
+        portable = self._disk_get(digest)
+        if portable is not None:
+            self.stats["disk_hits"] += 1
+            self._memory_put(digest, portable)
+            return portable
+        self.stats["misses"] += 1
+        return None
+
+    def store_portable(self, model, program, level, portable):
+        """Persist a portable table under its content address.
+
+        An unwritable store (read-only filesystem, ``root`` pointing at
+        a file, disk full) must never break simulation: the entry still
+        lands in the in-process LRU and the failure is only counted.
+        """
+        digest = table_digest(model, program, level)
+        try:
+            self._disk_put(digest, portable)
+            self.stats["stores"] += 1
+        except OSError:
+            self.stats["store_errors"] += 1
+        self._memory_put(digest, portable)
+        return digest
+
+    def module_source(self, model, program, level="sequenced", jobs=None):
+        """The standalone emitted module for ``program``, served from the
+        cache when possible (see :func:`repro.simcc.emit`)."""
+        from repro.simcc.emit import emit_simulator_module
+
+        return emit_simulator_module(model, program, level=level, jobs=jobs,
+                                     cache=self)
+
+    # -- in-process LRU -----------------------------------------------------
+
+    def _memory_get(self, digest):
+        portable = self._memory.get(digest)
+        if portable is not None:
+            self._memory.move_to_end(digest)
+        return portable
+
+    def _memory_put(self, digest, portable):
+        if self._max_memory == 0:
+            return
+        self._memory[digest] = portable
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self._max_memory:
+            self._memory.popitem(last=False)
+
+    # -- disk store ---------------------------------------------------------
+
+    def entry_path(self, digest):
+        return os.path.join(
+            self.root, _version_tag(), digest[:2], digest[2:] + ".simtab"
+        )
+
+    def _disk_get(self, digest):
+        path = self.entry_path(digest)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return None
+        try:
+            if not blob.startswith(_MAGIC):
+                raise ValueError("bad magic")
+            payload = marshal.loads(blob[len(_MAGIC):])
+            if payload["meta"]["digest"] != digest:
+                raise ValueError("digest mismatch")
+            return PortableTable.from_payload(payload["table"])
+        except Exception:
+            # Truncated, bit-rotted or wrong-format entry: quarantine it
+            # and fall back to a plain miss.
+            self.stats["corrupt_entries"] += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+
+    def _disk_put(self, digest, portable):
+        path = self.entry_path(digest)
+        payload = {
+            "meta": {
+                "format": FORMAT_VERSION,
+                "python": "%d.%d" % sys.version_info[:2],
+                "digest": digest,
+                "model": portable.model_name,
+                "program": portable.program_name,
+                "level": portable.level,
+            },
+            "table": portable.to_payload(),
+        }
+        blob = _MAGIC + marshal.dumps(payload)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        # Atomic publish: a concurrent reader sees the old entry or the
+        # new one, never a torn write.
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise

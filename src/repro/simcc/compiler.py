@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.behavior import ast as bast
 from repro.behavior.codegen import BehaviorCodegen
@@ -26,6 +26,7 @@ from repro.coding.decoder import InstructionDecoder
 from repro.machine.driver import IssueSlot
 from repro.machine.schedule import build_schedule
 from repro.machine.packets import packet_extent
+from repro.simcc import parallel
 from repro.support.errors import ReproError, SimulationError
 
 LEVELS = ("sequenced", "instantiated")
@@ -33,12 +34,19 @@ LEVELS = ("sequenced", "instantiated")
 
 @dataclass
 class SimulationTable:
-    """The compiled image of one program for one (state, control) pair."""
+    """The compiled image of one program for one (state, control) pair.
+
+    ``items_by_stage`` carries the decoded (node, behaviour) pairs
+    behind each slot for consumers that re-specialise them (static
+    level-3 column fusion); it is ``None`` for tables rehydrated from a
+    :class:`repro.simcc.portable.PortableTable`, whose operations exist
+    only as generated code.
+    """
 
     level: str
     slots: Dict[int, IssueSlot]
     has_control: Dict[int, bool]
-    items_by_stage: Dict[int, Tuple[Tuple[object, ...], ...]]
+    items_by_stage: Optional[Dict[int, Tuple[Tuple[object, ...], ...]]]
     instruction_count: int = 0
     word_count: int = 0
 
@@ -92,13 +100,18 @@ class SimulationCompiler:
     def model(self):
         return self._model
 
-    def compile(self, program, state, control, level="sequenced"):
+    def compile(self, program, state, control, level="sequenced", jobs=None):
         """Compile ``program`` into a :class:`SimulationTable`.
 
         The produced micro-operations are bound to ``state`` and
         ``control``; the table is only valid for that pair (this is the
         compiled-simulation trade-off: per-application, per-simulator
         specialisation in exchange for run-time speed).
+
+        ``jobs`` fans the per-word decode/variant-resolve/schedule work
+        out over a thread pool (see :mod:`repro.simcc.parallel`); the
+        merge is by program order, so the produced table is identical to
+        a serial compile.
         """
         if level not in LEVELS:
             raise ReproError(
@@ -127,14 +140,19 @@ class SimulationCompiler:
             def read_word(address, _words=words, _base=base):
                 return _words[address - _base]
 
-            # Step 1+2+3: decode and schedule every word once.
-            per_pc = {}
-            for offset, word in enumerate(words):
-                pc = base + offset
+            # Step 1+2+3: decode and schedule every word once.  The
+            # per-word results are independent, so this phase fans out.
+            def decode_word(task):
+                pc, word = task
                 node = self._decoder.decode(word, address=pc)
-                schedule = build_schedule(node, model)
-                per_pc[pc] = self._stage_split(schedule)
-                instruction_count += 1
+                return self._stage_split(build_schedule(node, model))
+
+            tasks = [
+                (base + offset, word) for offset, word in enumerate(words)
+            ]
+            staged = parallel.map_tasks(decode_word, tasks, jobs=jobs)
+            per_pc = {task[0]: stages for task, stages in zip(tasks, staged)}
+            instruction_count += len(tasks)
 
             # Step 5 (level "instantiated"): specialise behaviours now.
             if level == "instantiated":
@@ -186,6 +204,19 @@ class SimulationCompiler:
             instruction_count=instruction_count,
             word_count=word_count,
         )
+
+    def compile_portable(self, program, level="sequenced", jobs=None):
+        """Compile ``program`` into a state-independent
+        :class:`repro.simcc.portable.PortableTable`.
+
+        This is the cacheable form of simulation compilation: the table
+        can be serialised, stored, and later bound to any state/control
+        pair without re-running the compiler.  ``jobs`` fans the
+        per-word codegen out over a process pool.
+        """
+        from repro.simcc.portable import build_portable_table
+
+        return build_portable_table(self._model, program, level, jobs=jobs)
 
     # -- helpers -------------------------------------------------------------
 

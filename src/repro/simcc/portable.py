@@ -1,0 +1,331 @@
+"""Portable (state-independent) simulation tables.
+
+:meth:`repro.simcc.compiler.SimulationCompiler.compile` produces a
+:class:`~repro.simcc.compiler.SimulationTable` whose micro-operations
+are bound to one concrete state/control pair -- fast to execute, but
+impossible to persist.  A :class:`PortableTable` is the relocatable
+intermediate between the two: the full result of simulation compilation
+(decode, variant resolution, scheduling, packet formation, operation
+instantiation) expressed as
+
+* generated Python *function sources*, one per occupied (pc, stage),
+* a table spec mapping program addresses to per-stage function names
+  plus packet extents,
+* the per-address control-capability flags the static scheduler needs.
+
+A portable table can be bound to any state/control pair (:meth:`bind`),
+serialised byte-for-byte (:mod:`repro.simcc.cache`), or rendered as a
+standalone module (:mod:`repro.simcc.emit`).  Because every behaviour
+is code-generated, binding never re-runs the simulation compiler; warm
+loads cost one ``exec`` of pre-compiled code plus argument binding.
+
+Note one deliberate asymmetry: a portable table is always *operation
+instantiated* (generated code), even when built for level
+``sequenced``.  The level still participates in cache keys so that
+tables built for different levels never alias, and the bound table
+reports the level it was compiled for.  Execution results are
+bit-identical across the representations -- the code generator and the
+AST evaluator are required to agree exactly, and the cross-check
+benchmarks enforce it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, Optional, Tuple
+
+from repro.behavior.codegen import BehaviorCodegen
+from repro.behavior.evaluator import EvalContext
+from repro.behavior.runtime import CODEGEN_GLOBALS
+from repro.coding.decoder import InstructionDecoder
+from repro.machine.driver import IssueSlot
+from repro.machine.packets import packet_extent
+from repro.machine.schedule import build_schedule
+from repro.simcc import parallel
+
+
+@dataclass
+class PortableTable:
+    """A serialisable, state-independent compiled simulation.
+
+    ``functions`` is a tuple of ``(name, source)`` pairs in a fixed
+    (pc-major, stage-minor) order; ``table_spec`` maps each program
+    address to ``(per_stage_names, words, insn_count)``.
+    """
+
+    level: str
+    model_name: str
+    program_name: str
+    functions: Tuple[Tuple[str, str], ...]
+    table_spec: Dict[int, Tuple[Tuple[Tuple[str, ...], ...], int, int]]
+    has_control: Dict[int, bool]
+    instruction_count: int
+    word_count: int
+    _code: Optional[object] = field(default=None, repr=False, compare=False)
+    _namespace: Optional[dict] = field(default=None, repr=False, compare=False)
+
+    # -- code ---------------------------------------------------------------
+
+    def functions_source(self):
+        """All generated function sources as one module-sized string."""
+        return "\n".join(source for _, source in self.functions)
+
+    def code(self):
+        """The compiled code object for :meth:`functions_source` (cached)."""
+        if self._code is None:
+            self._code = compile(
+                self.functions_source(), "<portable-simtab>", "exec"
+            )
+        return self._code
+
+    def namespace(self):
+        """Execute the generated functions once; returns the namespace.
+
+        The functions take ``(s, c)`` parameters and are therefore
+        shareable between any number of bound tables.
+        """
+        if self._namespace is None:
+            namespace = dict(CODEGEN_GLOBALS)
+            exec(self.code(), namespace)
+            self._namespace = namespace
+        return self._namespace
+
+    # -- binding ------------------------------------------------------------
+
+    def bind(self, state, control):
+        """Rehydrate into a :class:`SimulationTable` bound to a
+        state/control pair, without re-running the simulation compiler.
+
+        The bound table carries no ``items_by_stage`` (the decoded
+        (node, behaviour) pairs do not survive serialisation); static
+        level-3 column fusion detects that and composes columns from
+        the per-stage functions instead.
+        """
+        from repro.simcc.compiler import SimulationTable
+
+        namespace = self.namespace()
+        slots = {}
+        empty = ()
+        for pc, (per_stage, words, insn_count) in self.table_spec.items():
+            ops_by_stage = tuple(
+                tuple(
+                    partial(namespace[name], state, control)
+                    for name in stage_names
+                ) if stage_names else empty
+                for stage_names in per_stage
+            )
+            slots[pc] = IssueSlot(
+                ops_by_stage=ops_by_stage,
+                words=words,
+                insn_count=insn_count,
+            )
+        return SimulationTable(
+            level=self.level,
+            slots=slots,
+            has_control=dict(self.has_control),
+            items_by_stage=None,
+            instruction_count=self.instruction_count,
+            word_count=self.word_count,
+        )
+
+    # -- (de)serialisation --------------------------------------------------
+
+    def to_payload(self, with_code=True):
+        """A marshal-compatible payload (ints, strings, tuples, dicts,
+        and optionally the compiled code object)."""
+        return {
+            "level": self.level,
+            "model": self.model_name,
+            "program": self.program_name,
+            "instruction_count": self.instruction_count,
+            "word_count": self.word_count,
+            "functions": tuple(self.functions),
+            "table_spec": {
+                pc: (per_stage, words, insns)
+                for pc, (per_stage, words, insns) in self.table_spec.items()
+            },
+            "has_control": dict(self.has_control),
+            "code": self.code() if with_code else None,
+        }
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(
+            level=payload["level"],
+            model_name=payload["model"],
+            program_name=payload["program"],
+            functions=tuple(
+                (name, source) for name, source in payload["functions"]
+            ),
+            table_spec={
+                int(pc): (
+                    tuple(tuple(names) for names in per_stage),
+                    words,
+                    insns,
+                )
+                for pc, (per_stage, words, insns)
+                in payload["table_spec"].items()
+            },
+            has_control={
+                int(pc): bool(flag)
+                for pc, flag in payload["has_control"].items()
+            },
+            instruction_count=payload["instruction_count"],
+            word_count=payload["word_count"],
+            _code=payload.get("code"),
+        )
+
+
+# -- construction ------------------------------------------------------------
+
+
+def stages_have_control(stages, ctx):
+    """Whether any scheduled behaviour in ``stages`` may raise pipeline-
+    control requests (flush/stall/halt)."""
+    from repro.simcc.compiler import _behavior_has_control
+
+    return any(
+        _behavior_has_control(behavior.statements, node, ctx)
+        for stage_items in stages
+        for node, behavior in stage_items
+    )
+
+
+def _word_sources(model, decoder, depth, pc, word):
+    """Compile one program word to per-stage function sources.
+
+    Returns ``(names, sources, has_control)`` where ``names`` has one
+    entry per pipeline stage (None for unoccupied stages) and
+    ``sources`` is a tuple of (name, source) pairs.
+
+    The variant cache is per word on purpose: it is keyed by node
+    *identity*, and this function drops its decoded nodes on return --
+    a longer-lived cache would see recycled ids and serve stale
+    variants for fresh nodes.
+    """
+    variant_cache = {}
+    codegen = BehaviorCodegen(model, variant_cache)
+    ctx = EvalContext(None, None, model, variant_cache)
+    node = decoder.decode(word, address=pc)
+    schedule = build_schedule(node, model)
+    stages = [[] for _ in range(depth)]
+    for item in schedule:
+        stages[item.stage].append((item.node, item.behavior))
+    names = []
+    sources = []
+    for stage, items in enumerate(stages):
+        if not items:
+            names.append(None)
+            continue
+        name = "insn_%x_stage_%d" % (pc, stage)
+        sources.append((name, codegen.function_source(name, items)))
+        names.append(name)
+    control = stages_have_control(stages, ctx)
+    return tuple(names), tuple(sources), control
+
+
+# Per-process toolchains for codegen workers, built lazily on the first
+# task so pool start-up stays cheap.  Keyed by model identity because
+# the thread/serial fallback paths run in the parent process, which may
+# compile for several models over its lifetime.
+_worker_toolchains = {}
+
+
+def _process_word_task(task):
+    """Worker entry: compile one (pc, word) to function sources.
+
+    Runs in a forked worker (model inherited via the parallel module)
+    or, on fallback, in the parent process itself.
+    """
+    model = parallel.forked_model()
+    toolchain = _worker_toolchains.get(id(model))
+    if toolchain is None:
+        toolchain = (model, InstructionDecoder(model), model.pipeline.depth)
+        _worker_toolchains[id(model)] = toolchain
+    model, decoder, depth = toolchain
+    pc, word = task
+    return _word_sources(model, decoder, depth, pc, word)
+
+
+def build_portable_table(model, program, level="sequenced", jobs=None):
+    """Run full simulation compilation into a :class:`PortableTable`.
+
+    With ``jobs`` > 1 the per-word decode / variant-resolve / schedule /
+    codegen fan-out runs on a process pool (falling back to threads,
+    then serial); the merge is by program order, so the result is
+    bit-identical to a serial build.
+    """
+    from repro.simcc.compiler import LEVELS
+    from repro.support.errors import ReproError
+
+    if level not in LEVELS:
+        raise ReproError(
+            "unknown simulation level %r (expected one of %s)"
+            % (level, ", ".join(LEVELS))
+        )
+    depth = model.pipeline.depth
+    pmem_name = model.config.program_memory
+    segments = program.segments_in(pmem_name)
+
+    tasks = []
+    for segment in segments:
+        base = segment.base
+        for offset, word in enumerate(segment.words):
+            tasks.append((base + offset, word))
+
+    if parallel.effective_jobs(jobs, len(tasks)) > 1:
+        results = parallel.map_tasks(
+            _process_word_task, tasks, jobs=jobs, processes=True, model=model
+        )
+    else:
+        decoder = InstructionDecoder(model)
+        results = [
+            _word_sources(model, decoder, depth, pc, word)
+            for pc, word in tasks
+        ]
+
+    names_by_pc = {}
+    control_by_pc = {}
+    functions = []
+    for (pc, _), (names, sources, control) in zip(tasks, results):
+        names_by_pc[pc] = names
+        control_by_pc[pc] = control
+        functions.extend(sources)
+
+    table_spec = {}
+    has_control = {}
+    for segment in segments:
+        words = segment.words
+        base = segment.base
+        limit = base + len(words)
+
+        def read_word(address, _words=words, _base=base):
+            return _words[address - _base]
+
+        for pc in range(base, limit):
+            extent = packet_extent(model, read_word, pc, limit)
+            members = range(pc, pc + extent)
+            per_stage = tuple(
+                tuple(
+                    names_by_pc[member][stage]
+                    for member in members
+                    if names_by_pc[member][stage] is not None
+                )
+                for stage in range(depth)
+            )
+            table_spec[pc] = (per_stage, extent, extent)
+            has_control[pc] = any(
+                control_by_pc[member] for member in members
+            )
+
+    return PortableTable(
+        level=level,
+        model_name=model.name,
+        program_name=program.name,
+        functions=tuple(functions),
+        table_spec=table_spec,
+        has_control=has_control,
+        instruction_count=len(tasks),
+        word_count=len(tasks),
+    )

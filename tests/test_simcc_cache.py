@@ -1,0 +1,294 @@
+"""Tests for the persistent simulation-table cache and parallel builds.
+
+Covers the cache contract end to end: content addressing (hits), exact
+invalidation (model edit, program edit, level change, format bump),
+corrupted-entry recovery, and the two bit-identity guarantees -- cached
+vs freshly compiled simulation, and parallel vs serial table builds.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lisa.semantics import compile_source
+from repro.machine.control import PipelineControl
+from repro.machine.state import ProcessorState
+from repro.sim import create_simulator
+from repro.simcc import cache as cache_mod
+from repro.simcc.cache import SimulationCache, model_digest, table_digest
+from repro.simcc.generator import generate_simulation_compiler
+from repro.simcc.portable import build_portable_table
+from tests.conftest import TESTMODEL_SOURCE
+
+PROGRAM_TEXT = """
+start:  ldi r1, 5
+        ldi r2, 7
+        add r3, r1, r2
+        st r3, 9
+        halt
+"""
+
+
+@pytest.fixture(scope="module")
+def program(testmodel_tools):
+    return testmodel_tools.assembler.assemble_text(PROGRAM_TEXT)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return SimulationCache(tmp_path / "simtab")
+
+
+def _fresh_engine(testmodel, program):
+    state = ProcessorState(testmodel)
+    control = PipelineControl()
+    program.load_into(state)
+    return state, control
+
+
+def _load(testmodel, program, cache, level="sequenced", jobs=None):
+    simcc = generate_simulation_compiler(testmodel, validate=False)
+    state, control = _fresh_engine(testmodel, program)
+    return cache.load_table(simcc, program, state, control,
+                            level=level, jobs=jobs)
+
+
+class TestHitMiss:
+    def test_cold_load_misses_and_stores(self, testmodel, program, cache):
+        table = _load(testmodel, program, cache)
+        assert table.word_count == 5
+        assert cache.stats["misses"] == 1
+        assert cache.stats["stores"] == 1
+        assert cache.stats["memory_hits"] == 0
+        assert cache.stats["disk_hits"] == 0
+
+    def test_entry_lands_at_content_address(self, testmodel, program, cache):
+        import os
+
+        _load(testmodel, program, cache)
+        digest = table_digest(testmodel, program, "sequenced")
+        assert os.path.exists(cache.entry_path(digest))
+
+    def test_second_load_hits_memory(self, testmodel, program, cache):
+        _load(testmodel, program, cache)
+        _load(testmodel, program, cache)
+        assert cache.stats["memory_hits"] == 1
+        assert cache.stats["misses"] == 1
+
+    def test_fresh_process_hits_disk(self, testmodel, program, cache):
+        _load(testmodel, program, cache)
+        reopened = SimulationCache(cache.root)
+        _load(testmodel, program, reopened)
+        assert reopened.stats["disk_hits"] == 1
+        assert reopened.stats["misses"] == 0
+
+    def test_memory_lru_evicts_oldest(self, testmodel, program,
+                                      testmodel_tools, tmp_path):
+        small = SimulationCache(tmp_path / "lru", max_memory_entries=1)
+        other = testmodel_tools.assembler.assemble_text("""
+        ldi r1, 1
+        halt
+        """)
+        _load(testmodel, program, small)
+        _load(testmodel, other, small)   # evicts `program`
+        _load(testmodel, program, small)
+        assert small.stats["memory_hits"] == 0
+        assert small.stats["disk_hits"] == 1
+
+
+class TestInvalidation:
+    def test_model_edit_changes_digest(self, testmodel, program):
+        edited_source = TESTMODEL_SOURCE.replace(
+            "BEHAVIOR { dst = src1 + src2; }",
+            "BEHAVIOR { dst = src1 + src2 + 1; }",
+        )
+        assert edited_source != TESTMODEL_SOURCE
+        edited = compile_source(edited_source, "edited.lisa")
+        assert model_digest(edited) != model_digest(testmodel)
+        assert (table_digest(edited, program, "sequenced")
+                != table_digest(testmodel, program, "sequenced"))
+
+    def test_model_edit_misses(self, testmodel, program, cache):
+        _load(testmodel, program, cache)
+        edited = compile_source(
+            TESTMODEL_SOURCE.replace("dst = sext(imm, 8);",
+                                     "dst = sext(imm + 1, 8);"),
+            "edited.lisa",
+        )
+        _load(edited, program, cache)
+        assert cache.stats["misses"] == 2
+        assert cache.stats["stores"] == 2
+
+    def test_program_edit_misses(self, testmodel, program,
+                                 testmodel_tools, cache):
+        _load(testmodel, program, cache)
+        edited = testmodel_tools.assembler.assemble_text(
+            PROGRAM_TEXT.replace("ldi r1, 5", "ldi r1, 6")
+        )
+        _load(testmodel, edited, cache)
+        assert cache.stats["misses"] == 2
+
+    def test_level_change_misses(self, testmodel, program, cache):
+        _load(testmodel, program, cache, level="sequenced")
+        _load(testmodel, program, cache, level="instantiated")
+        assert cache.stats["misses"] == 2
+        assert (table_digest(testmodel, program, "sequenced")
+                != table_digest(testmodel, program, "instantiated"))
+
+    def test_format_bump_misses(self, testmodel, program, cache,
+                                monkeypatch):
+        _load(testmodel, program, cache)
+        monkeypatch.setattr(cache_mod, "FORMAT_VERSION",
+                            cache_mod.FORMAT_VERSION + 1)
+        reopened = SimulationCache(cache.root)
+        _load(testmodel, program, reopened)
+        assert reopened.stats["disk_hits"] == 0
+        assert reopened.stats["misses"] == 1
+
+
+class TestCorruption:
+    def _entry_path(self, testmodel, program, cache):
+        return cache.entry_path(
+            table_digest(testmodel, program, "sequenced")
+        )
+
+    def test_garbage_entry_recovers(self, testmodel, program, cache):
+        import os
+
+        _load(testmodel, program, cache)
+        path = self._entry_path(testmodel, program, cache)
+        with open(path, "wb") as handle:
+            handle.write(b"repro-simtab\nnot marshal data")
+        reopened = SimulationCache(cache.root)
+        table = _load(testmodel, program, reopened)
+        assert table.word_count == 5
+        assert reopened.stats["corrupt_entries"] == 1
+        assert reopened.stats["misses"] == 1
+        assert reopened.stats["stores"] == 1
+        # The corrupt file was quarantined, then replaced by the store.
+        assert os.path.exists(path)
+
+    def test_bad_magic_quarantined(self, testmodel, program, cache):
+        import os
+
+        _load(testmodel, program, cache)
+        path = self._entry_path(testmodel, program, cache)
+        with open(path, "wb") as handle:
+            handle.write(b"something else entirely")
+        reopened = SimulationCache(cache.root, max_memory_entries=0)
+        assert reopened.load_portable(testmodel, program,
+                                      "sequenced") is None
+        assert reopened.stats["corrupt_entries"] == 1
+        assert not os.path.exists(path)
+
+    def test_unwritable_store_degrades_to_uncached(self, testmodel,
+                                                   program, tmp_path):
+        # Cache root is a regular file: every disk store fails, but
+        # simulation must proceed (and the in-process LRU still works).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        broken = SimulationCache(blocker)
+        table = _load(testmodel, program, broken)
+        assert table.word_count == 5
+        assert broken.stats["store_errors"] == 1
+        assert broken.stats["stores"] == 0
+        _load(testmodel, program, broken)
+        assert broken.stats["memory_hits"] == 1
+
+    def test_truncated_entry_recovers(self, testmodel, program, cache):
+        _load(testmodel, program, cache)
+        path = self._entry_path(testmodel, program, cache)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        reopened = SimulationCache(cache.root)
+        table = _load(testmodel, program, reopened)
+        assert table.word_count == 5
+        assert reopened.stats["corrupt_entries"] == 1
+
+
+class TestExecutionEquality:
+    """Cached simulations must be bit-identical to fresh compiles."""
+
+    @pytest.mark.parametrize(
+        "kind", ["compiled", "static", "unfolded", "unfolded_static"]
+    )
+    def test_cached_matches_uncached(self, testmodel, program, tmp_path,
+                                     kind):
+        reference = create_simulator(testmodel, kind)
+        reference.load_program(program)
+        ref_stats = reference.run()
+
+        cold = SimulationCache(tmp_path / "eq")
+        warm = SimulationCache(tmp_path / "eq")  # fresh LRU: forces disk
+        for cache in (cold, warm):
+            simulator = create_simulator(testmodel, kind, cache=cache)
+            simulator.load_program(program)
+            stats = simulator.run()
+            assert stats.cycles == ref_stats.cycles
+            assert stats.instructions == ref_stats.instructions
+            assert simulator.state.differences(reference.state) == []
+        assert cold.stats["stores"] == 1
+        assert warm.stats["disk_hits"] == 1
+
+
+# A pool of valid testmodel instructions for generated programs.  The
+# terminating `halt` is appended outside the strategy so every program
+# drains.
+_INSTRUCTIONS = st.sampled_from([
+    "nop",
+    "ldi r1, 5",
+    "ldi r2, 250",
+    "add r3, r1, r2",
+    "addl r4, r3, r2",
+    "add r5, r5, r1",
+    "st r3, 9",
+    "st r5, 10",
+])
+
+
+class TestParallelSerial:
+    """Parallel table builds must be bit-identical to serial ones."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.lists(_INSTRUCTIONS, min_size=1, max_size=24))
+    def test_parallel_build_bit_identical(self, testmodel, testmodel_tools,
+                                          lines):
+        # Generated programs are tiny; drop the fan-out threshold so the
+        # parallel path actually exercises the worker pool.  Patched
+        # manually (not via monkeypatch) because hypothesis re-runs the
+        # test body many times per fixture instantiation.
+        from repro.simcc import parallel
+
+        source = "\n".join(lines + ["halt"])
+        program = testmodel_tools.assembler.assemble_text(source)
+        saved = parallel.MIN_PARALLEL_ITEMS
+        parallel.MIN_PARALLEL_ITEMS = 1
+        try:
+            serial = build_portable_table(testmodel, program, jobs=1)
+            fanned = build_portable_table(testmodel, program, jobs=2)
+        finally:
+            parallel.MIN_PARALLEL_ITEMS = saved
+        assert (serial.to_payload(with_code=False)
+                == fanned.to_payload(with_code=False))
+
+    def test_parallel_execution_bit_identical(self, testmodel,
+                                              testmodel_tools, monkeypatch):
+        from repro.simcc import parallel
+
+        monkeypatch.setattr(parallel, "MIN_PARALLEL_ITEMS", 1)
+        program = testmodel_tools.assembler.assemble_text(PROGRAM_TEXT)
+
+        serial = create_simulator(testmodel, "compiled")
+        serial.load_program(program)
+        serial_stats = serial.run()
+
+        fanned = create_simulator(testmodel, "compiled", jobs=2)
+        fanned.load_program(program)
+        fanned_stats = fanned.run()
+
+        assert fanned_stats.cycles == serial_stats.cycles
+        assert fanned_stats.instructions == serial_stats.instructions
+        assert fanned.state.differences(serial.state) == []
