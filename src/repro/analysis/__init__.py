@@ -1,0 +1,106 @@
+"""Simulation-compile-time program analysis.
+
+Three passes over a (model, program) pair, sharing one report format:
+
+1. **Effects** (:mod:`repro.analysis.effects`): per-instruction,
+   per-stage read/write sets over architectural storage, resolved via
+   the decode-time schedule and the behaviour code generator.
+2. **CFG recovery** (:mod:`repro.analysis.cfg`): execute-packet
+   boundaries, branches, delay slots, basic blocks; flags branches into
+   packet middles/delay slots, out-of-segment targets, unreachable
+   packets and dead writes.
+3. **Hazards** (:mod:`repro.analysis.hazards`): slides the
+   pipeline-depth window over the CFG and detects cross-cycle
+   RAW/WAR/WAW conflicts, producing per-packet verdicts that gate
+   static scheduling (``hazard_free`` / ``conflicting`` / ``unknown``).
+
+:func:`analyze_program` runs all three; :func:`schedule_safety` is the
+narrow entry point the simulation compiler uses to attach verdicts to
+the simulation table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.cfg import ProgramCFG, build_cfg, check_cfg
+from repro.analysis.effects import EffectsAnalyzer, packet_collisions
+from repro.analysis.hazards import (
+    CONFLICTING,
+    HAZARD_FREE,
+    UNKNOWN,
+    analyze_hazards,
+    hazard_free_region,
+)
+from repro.analysis.report import Finding, Report
+
+
+@dataclass
+class AnalysisResult:
+    """The combined outcome of all analysis passes for one program."""
+
+    report: Report
+    safety: Dict[int, str]  # packet start pc -> hazard verdict
+    cfg: ProgramCFG
+
+    def verdict_counts(self):
+        counts = {HAZARD_FREE: 0, CONFLICTING: 0, UNKNOWN: 0}
+        for verdict in self.safety.values():
+            counts[verdict] = counts.get(verdict, 0) + 1
+        return counts
+
+    def to_dict(self):
+        payload = self.report.to_dict()
+        payload["verdicts"] = self.verdict_counts()
+        payload["safety"] = {
+            "0x%x" % pc: verdict
+            for pc, verdict in sorted(self.safety.items())
+        }
+        return payload
+
+
+def analyze_program(model, program, packet_lint=True):
+    """Run effects, CFG and hazard analysis over one program.
+
+    ``packet_lint`` additionally runs the VLIW write-collision check
+    (the :mod:`repro.tools.lint` pass) into the same report.
+    """
+    report = Report()
+    analyzer = EffectsAnalyzer(model)
+    cfg = build_cfg(model, program, analyzer=analyzer)
+    if packet_lint and model.is_vliw:
+        for pc in cfg.order:
+            packet = cfg.packets[pc]
+            if packet.extent > 1:
+                packet_collisions(packet.members, report=report,
+                                  packet_pc=packet.pc)
+    check_cfg(cfg, report)
+    safety = analyze_hazards(cfg, report=report)
+    return AnalysisResult(report=report, safety=safety, cfg=cfg)
+
+
+def schedule_safety(model, program):
+    """Hazard verdicts per packet start, as stored on simulation tables.
+
+    This is the analysis the static scheduler consumes; findings are
+    not collected (run :func:`analyze_program` for the full report).
+    """
+    cfg = build_cfg(model, program)
+    return analyze_hazards(cfg)
+
+
+__all__ = [
+    "AnalysisResult",
+    "EffectsAnalyzer",
+    "Finding",
+    "Report",
+    "analyze_program",
+    "build_cfg",
+    "check_cfg",
+    "schedule_safety",
+    "hazard_free_region",
+    "HAZARD_FREE",
+    "CONFLICTING",
+    "UNKNOWN",
+]

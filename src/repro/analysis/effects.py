@@ -1,0 +1,368 @@
+"""Effects analysis: per-instruction, per-stage read and write sets.
+
+The write-collision packet linter (:mod:`repro.tools.lint`) needed only
+the write sets of one instruction; static scheduling needs much more:
+*which pipeline stage* each access happens in, the *read* sets (for
+RAW/WAR detection), whether the instruction may raise pipeline-control
+requests, and the constant PC targets it can assign (for control-flow
+recovery).  :class:`EffectsAnalyzer` computes all of it in one walk
+over the decode-time-resolved schedule, and the packet linter now
+delegates here so there is exactly one effects walker in the tree.
+
+Cells are identified by the code generator's resolved access text:
+a constant-folded element access (``s.lsq[0]``) becomes an exact cell
+``("lsq", "0")``, a scalar register ``("PC", None)``, and a computed
+index degrades to a whole-resource wildcard ``("R", "*")``.  Reusing
+the code generator for resolution guarantees the analysis sees exactly
+the accesses the generated simulator performs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.behavior import ast as bast
+from repro.behavior.runtime import CONTROL_INTRINSICS
+from repro.machine.schedule import build_schedule
+from repro.support.errors import ReproError
+
+#: Maximum sub-operation invocation depth the walker follows before
+#: giving up and marking the effects conservative/truncated.
+MAX_CALL_DEPTH = 16
+
+_ELEMENT = re.compile(r"^s\.(\w+)\[(\-?\d+)\]$")
+_SCALAR = re.compile(r"^s\.(\w+)$")
+_WILDCARD = re.compile(r"^s\.(\w+)\[")
+_ACCESS = re.compile(r"s\.(\w+)")
+_CONST_INDEX = re.compile(r"\[(\-?\d+)\]")
+_CONST_INT = re.compile(r"^\(*\-?\d+\)*$")
+
+
+def classify_lvalue(lvalue_source):
+    """Map a generated lvalue to a cell key: (resource, element|None|'*').
+
+    Returns ``None`` for behaviour-local targets (not architectural).
+    """
+    match = _ELEMENT.match(lvalue_source)
+    if match:
+        return (match.group(1), match.group(2))
+    match = _SCALAR.match(lvalue_source)
+    if match:
+        return (match.group(1), None)
+    match = _WILDCARD.match(lvalue_source)
+    if match:
+        return (match.group(1), "*")
+    return None
+
+
+def scan_read_cells(source):
+    """All architectural cells a generated expression reads.
+
+    Scans resolved source text for ``s.<resource>`` accesses: a literal
+    index yields an exact element cell, a computed index a wildcard,
+    no index a scalar.  Nested accesses (``s.dmem[s.R[3]]``) yield both
+    the outer wildcard and the inner element.
+    """
+    cells = set()
+    for match in _ACCESS.finditer(source):
+        rest = source[match.end():]
+        if rest.startswith("["):
+            index = _CONST_INDEX.match(rest)
+            element = index.group(1) if index else "*"
+            cells.add((match.group(1), element))
+        else:
+            cells.add((match.group(1), None))
+    return cells
+
+
+def cells_collide(a, b):
+    """Whether two cells may denote the same storage."""
+    if a[0] != b[0]:
+        return False
+    return a[1] == b[1] or a[1] == "*" or b[1] == "*"
+
+
+def cell_text(cell, other=None):
+    """Human-readable rendering of a cell (pairing wildcards with the
+    other side's element when available)."""
+    resource, element = cell
+    if element == "*" and other is not None:
+        element = other[1]
+    if element is None:
+        return resource
+    if element == "*":
+        return "%s[...]" % resource
+    return "%s[%s]" % (resource, element)
+
+
+def const_int(source):
+    """The integer a generated value expression denotes, or None."""
+    if _CONST_INT.match(source) and source.count("(") == source.count(")"):
+        try:
+            return int(source.strip("()"))
+        except ValueError:
+            return None
+    return None
+
+
+@dataclass(frozen=True)
+class PCWrite:
+    """One assignment to the program counter found in a behaviour."""
+
+    target: Optional[int]  # constant target, or None when computed
+    conditional: bool  # under a run-time IF/WHILE
+
+
+@dataclass(frozen=True)
+class StageEffects:
+    """Merged effects of everything one instruction does in one stage."""
+
+    reads: frozenset
+    writes: frozenset
+    control: bool  # calls flush/stall/halt
+    pc_writes: Tuple[PCWrite, ...]
+
+    @classmethod
+    def empty(cls):
+        return cls(frozenset(), frozenset(), False, ())
+
+
+@dataclass(frozen=True)
+class InstructionEffects:
+    """Per-stage effects of one decoded instruction instance.
+
+    ``truncated`` is set when the walker hit the recursion limit or an
+    unresolvable construct; consumers must treat such instructions
+    conservatively (the hazard pass reports ``unknown``).
+    """
+
+    stages: Tuple[StageEffects, ...]
+    truncated: bool
+
+    @property
+    def reads(self):
+        cells = set()
+        for stage in self.stages:
+            cells |= stage.reads
+        return cells
+
+    @property
+    def writes(self):
+        cells = set()
+        for stage in self.stages:
+            cells |= stage.writes
+        return cells
+
+    @property
+    def has_control(self):
+        return any(stage.control for stage in self.stages)
+
+    def pc_write_stages(self):
+        """(stage index, PCWrite) pairs, shallowest stage first."""
+        return [
+            (index, write)
+            for index, stage in enumerate(self.stages)
+            for write in stage.pc_writes
+        ]
+
+
+class _StageAccumulator:
+    __slots__ = ("reads", "writes", "control", "pc_writes")
+
+    def __init__(self):
+        self.reads = set()
+        self.writes = set()
+        self.control = False
+        self.pc_writes = []
+
+    def freeze(self):
+        return StageEffects(
+            reads=frozenset(self.reads),
+            writes=frozenset(self.writes),
+            control=self.control,
+            pc_writes=tuple(self.pc_writes),
+        )
+
+
+class EffectsAnalyzer:
+    """Computes :class:`InstructionEffects` for decoded instructions.
+
+    Walks the decode-time-resolved schedule (only selected IF/SWITCH
+    variants count), recursing into sub-operation invocations exactly as
+    the code generator inlines them; conditional accesses inside
+    run-time IFs are included conservatively.
+    """
+
+    def __init__(self, model, codegen=None):
+        from repro.behavior.codegen import BehaviorCodegen
+
+        self._model = model
+        self._codegen = codegen if codegen is not None else \
+            BehaviorCodegen(model)
+        self._pc_name = model.pc_name
+
+    @property
+    def model(self):
+        return self._model
+
+    def effects_of(self, node):
+        """Per-stage effects of one decoded instruction instance."""
+        depth = self._model.pipeline.depth
+        accs = [_StageAccumulator() for _ in range(depth)]
+        truncated = [False]
+        for item in build_schedule(node, self._model):
+            self._walk(item.behavior.statements, item.node,
+                       accs[item.stage], 0, False, truncated)
+        return InstructionEffects(
+            stages=tuple(acc.freeze() for acc in accs),
+            truncated=truncated[0],
+        )
+
+    def written_cells(self, node):
+        """All storage cells the instruction may write (any stage)."""
+        return set(self.effects_of(node).writes)
+
+    # -- the walker ----------------------------------------------------------
+
+    def _walk(self, statements, node, acc, depth, cond, truncated):
+        if depth > MAX_CALL_DEPTH:
+            truncated[0] = True
+            return
+        for stmt in statements:
+            self._statement(stmt, node, acc, depth, cond, truncated)
+
+    def _statement(self, stmt, node, acc, depth, cond, truncated):
+        if isinstance(stmt, bast.Assign):
+            self._assign(stmt, node, acc, cond, truncated)
+        elif isinstance(stmt, bast.If):
+            self._reads(stmt.condition, node, acc, truncated)
+            self._walk(stmt.then_body, node, acc, depth, True, truncated)
+            if stmt.else_body:
+                self._walk(stmt.else_body, node, acc, depth, True, truncated)
+        elif isinstance(stmt, bast.While):
+            self._reads(stmt.condition, node, acc, truncated)
+            self._walk(stmt.body, node, acc, depth, True, truncated)
+        elif isinstance(stmt, bast.Block):
+            self._walk(stmt.body, node, acc, depth, cond, truncated)
+        elif isinstance(stmt, bast.LocalDecl):
+            if stmt.init is not None:
+                self._reads(stmt.init, node, acc, truncated)
+        elif isinstance(stmt, bast.ExprStmt):
+            self._expr_statement(stmt.expression, node, acc, depth, cond,
+                                 truncated)
+        # Other statement kinds have no architectural effects.
+
+    def _assign(self, stmt, node, acc, cond, truncated):
+        try:
+            target_src, _ = self._codegen._lvalue(stmt.target, node)
+        except ReproError:
+            truncated[0] = True  # unresolvable target: be conservative
+            return
+        cell = classify_lvalue(target_src)
+        value_src = self._render(stmt.value, node, acc, truncated)
+        if cell is not None:
+            acc.writes.add(cell)
+            # A computed target index reads its index cells.
+            acc.reads |= scan_read_cells(target_src) - {cell}
+            if stmt.op != "=":
+                acc.reads.add(cell)
+            if cell == (self._pc_name, None) and stmt.op == "=":
+                target = const_int(value_src) if value_src else None
+                acc.pc_writes.append(PCWrite(target=target,
+                                             conditional=cond))
+        elif stmt.op != "=":
+            pass  # local augmented assign: no architectural read
+
+    def _expr_statement(self, expr, node, acc, depth, cond, truncated):
+        if isinstance(expr, bast.Call):
+            if expr.name in CONTROL_INTRINSICS:
+                acc.control = True
+                for arg in expr.args:
+                    self._reads(arg, node, acc, truncated)
+                return
+            child = self._resolve_child(expr.name, node)
+            if child is not None:
+                variant = self._variant(child)
+                for behavior in variant.behaviors:
+                    self._walk(behavior.statements, child, acc,
+                               depth + 1, cond, truncated)
+                return
+        self._reads(expr, node, acc, truncated)
+
+    def _resolve_child(self, name, node):
+        child = node.children.get(name)
+        if child is None and name in node.operation.references:
+            kind, payload = node.lookup(name)
+            child = payload if kind == "child" else None
+        return child
+
+    def _variant(self, child):
+        return self._codegen._variant(child)
+
+    # -- expression rendering ------------------------------------------------
+
+    def _render(self, expr, node, acc, truncated):
+        """Render an expression via the code generator and record its
+        reads; returns the source text, or None when unresolvable."""
+        try:
+            source = self._codegen._expr(expr, node)
+        except ReproError:
+            truncated[0] = True
+            return None
+        acc.reads |= scan_read_cells(source)
+        return source
+
+    def _reads(self, expr, node, acc, truncated):
+        self._render(expr, node, acc, truncated)
+
+
+def packet_collisions(members, report=None, packet_pc=None):
+    """Write-set collisions between the members of one execute packet.
+
+    ``members`` is a sequence of ``(address, InstructionEffects)``
+    pairs.  Returns the findings as a list; when ``report`` is given the
+    findings are also recorded there (check id ``packet.collision``).
+    """
+    from repro.analysis.report import Finding
+
+    findings = []
+    seen = set()
+    indexed = [(addr, fx.writes) for addr, fx in members]
+    for i, (addr_a, cells_a) in enumerate(indexed):
+        for addr_b, cells_b in indexed[i + 1:]:
+            for cell_a in sorted(cells_a):
+                for cell_b in sorted(cells_b):
+                    if not cells_collide(cell_a, cell_b):
+                        continue
+                    message = (
+                        "packet at 0x%x: parallel instructions at 0x%x "
+                        "and 0x%x both write %s"
+                        % (packet_pc if packet_pc is not None else addr_a,
+                           addr_a, addr_b, cell_text(cell_a, cell_b))
+                    )
+                    if message in seen:
+                        continue
+                    seen.add(message)
+                    if report is not None:
+                        report.add("warning", addr_a, "packet.collision",
+                                   message)
+                    findings.append(Finding("warning", addr_a,
+                                            "packet.collision", message))
+    return findings
+
+
+__all__ = [
+    "MAX_CALL_DEPTH",
+    "EffectsAnalyzer",
+    "InstructionEffects",
+    "StageEffects",
+    "PCWrite",
+    "classify_lvalue",
+    "scan_read_cells",
+    "cells_collide",
+    "cell_text",
+    "const_int",
+    "packet_collisions",
+]

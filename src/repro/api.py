@@ -124,7 +124,8 @@ class Toolset:
             self._cache["simcc"] = generate_simulation_compiler(self.model)
         return self._cache["simcc"]
 
-    def new_simulator(self, kind="compiled", cache=None, jobs=None):
+    def new_simulator(self, kind="compiled", cache=None, jobs=None,
+                      verify_schedule=False):
         """Create a fresh simulator.
 
         ``kind`` is one of ``interpretive``, ``predecoded`` (compiled
@@ -134,11 +135,25 @@ class Toolset:
 
         ``cache`` (see :func:`open_cache`) makes load-time simulation
         compilation persistent across runs; ``jobs`` parallelises cold
-        compiles.
+        compiles.  ``verify_schedule`` (static kinds) raises instead of
+        falling back to dynamic scheduling on unproven windows.
         """
         from repro.sim import create_simulator
 
-        return create_simulator(self.model, kind, cache=cache, jobs=jobs)
+        return create_simulator(self.model, kind, cache=cache, jobs=jobs,
+                                verify_schedule=verify_schedule)
+
+    def analyze(self, program, packet_lint=True):
+        """Run the static analysis passes over an assembled program.
+
+        Returns a :class:`repro.analysis.AnalysisResult` holding the
+        findings report, the per-packet hazard verdicts, and the
+        recovered control-flow graph.
+        """
+        from repro.analysis import analyze_program
+
+        return analyze_program(self.model, program,
+                               packet_lint=packet_lint)
 
 
 def build_toolset(model):
@@ -146,3 +161,13 @@ def build_toolset(model):
     if model is None:
         raise ReproError("build_toolset needs a compiled machine model")
     return Toolset(model)
+
+
+def analyze_program(model, program, packet_lint=True):
+    """Run the static analysis passes over an assembled program.
+
+    Convenience re-export of :func:`repro.analysis.analyze_program`.
+    """
+    from repro.analysis import analyze_program as _analyze
+
+    return _analyze(model, program, packet_lint=packet_lint)

@@ -197,12 +197,15 @@ class BehaviorCodegen:
     # -- expressions --------------------------------------------------------
 
     def _variant(self, node):
+        # Keyed by identity, with the node pinned in the entry: ids are
+        # only unique among live objects, and analysis passes feed this
+        # cache transient nodes whose ids would otherwise be recycled.
         key = id(node)
-        variant = self._variant_cache.get(key)
-        if variant is None:
-            variant = node.variant(self._model)
-            self._variant_cache[key] = variant
-        return variant
+        entry = self._variant_cache.get(key)
+        if entry is None or entry[0] is not node:
+            entry = (node, node.variant(self._model))
+            self._variant_cache[key] = entry
+        return entry[1]
 
     def _operand(self, name, node):
         if name in node.fields:

@@ -28,9 +28,12 @@ _MAX_LOOP_ITERATIONS = 1 << 22
 class EvalContext:
     """Execution context for one behaviour invocation.
 
-    ``variant_cache`` maps DecodedNode id -> resolved variant; pass a
-    persistent dict to move variant resolution to compile time (level 2),
-    or None to resolve on every execution (interpretive).
+    ``variant_cache`` maps DecodedNode id -> (node, resolved variant);
+    pass a persistent dict to move variant resolution to compile time
+    (level 2), or None to resolve on every execution (interpretive).
+    The entry pins the node: ids are only unique among live objects,
+    and the same dict may be shared with a
+    :class:`repro.behavior.codegen.BehaviorCodegen`.
     """
 
     __slots__ = ("state", "control", "model", "variant_cache")
@@ -46,11 +49,11 @@ class EvalContext:
         if cache is None:
             return node.variant(self.model)
         key = id(node)
-        variant = cache.get(key)
-        if variant is None:
-            variant = node.variant(self.model)
-            cache[key] = variant
-        return variant
+        entry = cache.get(key)
+        if entry is None or entry[0] is not node:
+            entry = (node, node.variant(self.model))
+            cache[key] = entry
+        return entry[1]
 
 
 def execute_behavior(statements, node, ctx):

@@ -8,11 +8,19 @@
     Run programs on any simulator kind.
 ``repro-kcc``
     Compile kernel-language source to target assembly.
+``repro-lint``
+    Static analysis of an assembled program (packet collisions,
+    control-flow defects, cross-cycle pipeline hazards).
+
+Every command that compiles a model prints the model's compile
+diagnostics to stderr; ``--Werror`` turns diagnosed warnings into a
+nonzero exit.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -31,6 +39,35 @@ def _resolve_model(spec):
         return compile_lisa_file(spec)
     except OSError as exc:
         raise ReproError("cannot read model %r: %s" % (spec, exc)) from exc
+
+
+def _add_werror(parser):
+    parser.add_argument(
+        "--Werror", dest="werror", action="store_true",
+        help="treat warnings as errors (nonzero exit)",
+    )
+
+
+def _print_model_diagnostics(parser, model, werror):
+    """Print model compile diagnostics to stderr; under ``--Werror``,
+    exit nonzero when any of them is a warning."""
+    sink = getattr(model, "diagnostics", None)
+    if not sink:
+        return
+    for diagnostic in sink:
+        print(diagnostic, file=sys.stderr)
+    if werror and getattr(sink, "warnings", ()):
+        parser.exit(
+            1,
+            "error: model diagnostics contain warnings (--Werror)\n",
+        )
+
+
+def _load_program(model, path):
+    """Load an object file, or assemble ``.asm``/``.s`` source."""
+    if path.endswith((".asm", ".s")):
+        return build_toolset(model).assembler.assemble_file(path)
+    return Program.load(path)
 
 
 def lisa_main(argv=None):
@@ -59,6 +96,7 @@ def lisa_main(argv=None):
         "--dump-db", action="store_true",
         help="dump the model data base as JSON to stdout",
     )
+    _add_werror(parser)
     args = parser.parse_args(argv)
     try:
         start = time.perf_counter()
@@ -69,8 +107,7 @@ def lisa_main(argv=None):
 
             print(model_to_json(model))
             return 0
-        for diagnostic in getattr(model, "diagnostics", []):
-            print(diagnostic, file=sys.stderr)
+        _print_model_diagnostics(parser, model, args.werror)
         if args.emit_simulator:
             # Only the module on stdout, so `> simulator.py` yields a
             # runnable file; the report moves to stderr.
@@ -107,9 +144,11 @@ def asm_main(argv=None):
         "-d", "--disassemble", action="store_true",
         help="treat the input as an object file and disassemble it",
     )
+    _add_werror(parser)
     args = parser.parse_args(argv)
     try:
         model = _resolve_model(args.model)
+        _print_model_diagnostics(parser, model, args.werror)
         tools = build_toolset(model)
         if args.disassemble:
             program = Program.load(args.source)
@@ -175,22 +214,34 @@ def sim_main(argv=None):
         help="parallelise simulation compilation over N workers "
         "(-1 = one per CPU)",
     )
+    parser.add_argument(
+        "--verify-schedule", action="store_true",
+        help="with -k static/unfolded_static: fail instead of falling "
+        "back to dynamic scheduling when a pipeline window is not "
+        "proven hazard-free",
+    )
+    _add_werror(parser)
     args = parser.parse_args(argv)
+    if args.verify_schedule and args.kind not in (
+        "static", "unfolded_static"
+    ):
+        parser.exit(
+            2,
+            "error: --verify-schedule requires -k static or "
+            "unfolded_static\n",
+        )
     try:
         model = _resolve_model(args.model)
-        if args.program.endswith((".asm", ".s")):
-            program = build_toolset(model).assembler.assemble_file(
-                args.program
-            )
-        else:
-            program = Program.load(args.program)
+        _print_model_diagnostics(parser, model, args.werror)
+        program = _load_program(model, args.program)
         cache = None
         if args.cache_dir and not args.no_cache:
             from repro.simcc.cache import SimulationCache
 
             cache = SimulationCache(args.cache_dir)
         simulator = create_simulator(
-            model, args.kind, cache=cache, jobs=args.jobs
+            model, args.kind, cache=cache, jobs=args.jobs,
+            verify_schedule=args.verify_schedule,
         )
         load_start = time.perf_counter()
         simulator.load_program(program)
@@ -239,12 +290,16 @@ def kcc_main(argv=None):
         "--dump", action="append", default=[], metavar="MEM:ADDR[:LEN]",
         help="with --run: print memory cells afterwards (repeatable)",
     )
+    _add_werror(parser)
     args = parser.parse_args(argv)
     try:
         from repro.kcc import compile_kernel
 
         with open(args.source, "r", encoding="utf-8") as handle:
             kernel_source = handle.read()
+        _print_model_diagnostics(
+            parser, _resolve_model(args.target), args.werror
+        )
         assembly = compile_kernel(kernel_source, args.target)
         if args.output:
             with open(args.output, "w", encoding="utf-8") as handle:
@@ -270,6 +325,69 @@ def kcc_main(argv=None):
     except ReproError as exc:
         parser.exit(1, "error: %s\n" % exc)
     return 0
+
+
+def lint_main(argv=None):
+    """repro-lint: simulation-compile-time program analysis.
+
+    Exit status: 0 when the program analyses clean, 1 when findings
+    fail the run (errors, or warnings under ``--Werror``), 2 when the
+    model or program cannot be compiled at all.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Analyse an assembled program against a machine "
+        "description: VLIW packet write collisions, control-flow "
+        "defects (branches into packet middles or delay slots, "
+        "out-of-segment targets, unreachable code, dead writes) and "
+        "cross-cycle pipeline hazards gating static scheduling.",
+    )
+    parser.add_argument("model", help="model name or .lisa path")
+    parser.add_argument("program", help="object file (.dspo) or assembly "
+                        "source (.asm/.s)")
+    parser.add_argument(
+        "--json", dest="as_json", action="store_true",
+        help="emit the full report (findings, counts, hazard verdicts) "
+        "as JSON on stdout",
+    )
+    _add_werror(parser)
+    args = parser.parse_args(argv)
+    try:
+        model = _resolve_model(args.model)
+        program = _load_program(model, args.program)
+        from repro.analysis import analyze_program
+
+        result = analyze_program(model, program)
+    except ReproError as exc:
+        parser.exit(2, "error: %s\n" % exc)
+    report = result.report
+    # Model compile diagnostics join the program findings, so one run
+    # surfaces everything the toolchain knows.
+    for diagnostic in getattr(model, "diagnostics", []):
+        severity = diagnostic.severity
+        report.add(
+            severity if severity in ("warning", "note") else "note",
+            None, "model.diagnostic", str(diagnostic),
+        )
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report:
+            print(finding)
+        counts = report.counts()
+        verdicts = result.verdict_counts()
+        print(
+            "%d error(s), %d warning(s), %d note(s); packets: %s"
+            % (
+                counts["error"], counts["warning"], counts["note"],
+                ", ".join(
+                    "%d %s" % (count, verdict)
+                    for verdict, count in sorted(verdicts.items())
+                    if count
+                ) or "none",
+            )
+        )
+    return report.exit_code(werror=args.werror)
 
 
 def _dump_memory(state, spec):

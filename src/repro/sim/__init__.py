@@ -37,13 +37,17 @@ SIM_KINDS = (
 )
 
 
-def create_simulator(model, kind="compiled", cache=None, jobs=None):
+def create_simulator(model, kind="compiled", cache=None, jobs=None,
+                     verify_schedule=False):
     """Instantiate a simulator of the given ``kind`` for ``model``.
 
     ``cache`` (a :class:`repro.simcc.cache.SimulationCache`) and
     ``jobs`` tune load-time simulation compilation and only apply to
     the table-based kinds; the interpretive and predecoded simulators
-    do no load-time compilation and ignore them.
+    do no load-time compilation and ignore them.  ``verify_schedule``
+    (static kinds only) raises :class:`repro.support.errors.
+    SimulationError` instead of falling back to dynamic scheduling when
+    a pipeline window is not proven hazard-free.
     """
     if kind == "interpretive":
         return InterpretiveSimulator(model)
@@ -57,10 +61,12 @@ def create_simulator(model, kind="compiled", cache=None, jobs=None):
                                  cache=cache, jobs=jobs)
     if kind == "static":
         return StaticScheduledSimulator(model, level="sequenced",
-                                        cache=cache, jobs=jobs)
+                                        cache=cache, jobs=jobs,
+                                        verify_schedule=verify_schedule)
     if kind == "unfolded_static":
         return StaticScheduledSimulator(model, level="instantiated",
-                                        cache=cache, jobs=jobs)
+                                        cache=cache, jobs=jobs,
+                                        verify_schedule=verify_schedule)
     raise ReproError(
         "unknown simulator kind %r (expected one of %s)"
         % (kind, ", ".join(SIM_KINDS))

@@ -24,6 +24,14 @@ cycles fall back to the dynamic path, and a flush re-interns the
 squashed window.  PC redirection needs no special handling: the fetch
 address is read from the live PC, so delay-slot branches work inside
 static columns.
+
+When the simulation table carries ``schedule_safety`` verdicts (from
+:mod:`repro.analysis`), composition is additionally gated on every
+in-flight instruction being proven ``hazard_free``: a window touching a
+``conflicting`` or ``unknown`` packet falls back to the dynamic
+per-stage path, which is always order-correct.  ``verify_schedule``
+turns that fallback into a :class:`SimulationError`, for running a
+program as a proof that its schedule is fully static.
 """
 
 from __future__ import annotations
@@ -57,16 +65,19 @@ class StaticPipeline:
         "_model", "_state", "_control", "_table", "_frontend",
         "_column_compiler", "_pc_name", "_depth", "_read_pc",
         "_write_pc", "_interned", "_root", "_node", "cycles",
-        "instructions_retired",
+        "instructions_retired", "_safety", "_verify_schedule",
     )
 
-    def __init__(self, model, state, control, table, column_compiler=None):
+    def __init__(self, model, state, control, table, column_compiler=None,
+                 verify_schedule=False):
         self._model = model
         self._state = state
         self._control = control
         self._table = table
         self._frontend = table.make_frontend(model)
         self._column_compiler = column_compiler
+        self._safety = table.schedule_safety
+        self._verify_schedule = verify_schedule
         self._pc_name = model.pc_name
         self._depth = model.pipeline.depth
         # Bound accessors: the hot loop reads/writes the PC every cycle
@@ -127,11 +138,30 @@ class StaticPipeline:
 
     def _compose_column(self, pcs, slots):
         """Statically schedule one occupancy, or None if it contains
-        control-capable (or unknown/trap) instructions."""
+        control-capable (or unknown/trap) instructions, or instructions
+        the hazard analysis could not prove safe to reorder."""
         has_control = self._table.has_control
         for pc in pcs:
             if pc is not None and has_control.get(pc, True):
                 return None
+        safety = self._safety
+        if safety is not None:
+            for pc in pcs:
+                if pc is not None and safety.get(pc) != "hazard_free":
+                    if self._verify_schedule:
+                        raise SimulationError(
+                            "schedule verification failed: window %s "
+                            "contains 0x%x with hazard verdict %r -- the "
+                            "region cannot be statically scheduled"
+                            % (
+                                "/".join(
+                                    "-" if p is None else "0x%x" % p
+                                    for p in pcs
+                                ),
+                                pc, safety.get(pc, "unknown"),
+                            )
+                        )
+                    return None
         if self._column_compiler is not None:
             compiled = self._column_compiler(pcs, slots)
             if compiled is not None:
@@ -224,12 +254,14 @@ class StaticScheduledSimulator(Simulator):
     flattened per-stage function list) -- scheduling is still static.
     """
 
-    def __init__(self, model, level="sequenced", cache=None, jobs=None):
+    def __init__(self, model, level="sequenced", cache=None, jobs=None,
+                 verify_schedule=False):
         super().__init__(model)
         self._level = level
         self._simcc = generate_simulation_compiler(model, validate=False)
         self._cache = cache
         self._jobs = jobs
+        self._verify_schedule = verify_schedule
         self.table = None
         self._column_counter = 0
 
@@ -260,6 +292,7 @@ class StaticScheduledSimulator(Simulator):
         return StaticPipeline(
             self.model, self.state, self.control, self.table,
             column_compiler=column_compiler,
+            verify_schedule=self._verify_schedule,
         )
 
     def _compile_column(self, pcs, slots):

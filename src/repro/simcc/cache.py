@@ -44,7 +44,8 @@ from repro.lisa.database import model_to_json
 from repro.simcc.portable import PortableTable
 
 #: Bump when the entry layout or the portable-table payload changes.
-FORMAT_VERSION = 1
+#: 2: portable tables carry per-packet ``schedule_safety`` verdicts.
+FORMAT_VERSION = 2
 
 _MAGIC = b"repro-simtab\n"
 

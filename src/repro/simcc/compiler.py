@@ -41,6 +41,12 @@ class SimulationTable:
     level-3 column fusion); it is ``None`` for tables rehydrated from a
     :class:`repro.simcc.portable.PortableTable`, whose operations exist
     only as generated code.
+
+    ``schedule_safety`` maps canonical packet starts to hazard verdicts
+    from :func:`repro.analysis.schedule_safety` (``hazard_free`` /
+    ``conflicting`` / ``unknown``); the static scheduler composes
+    columns only over proven regions.  ``None`` (hand-built or legacy
+    tables) disables the gate.
     """
 
     level: str
@@ -49,6 +55,7 @@ class SimulationTable:
     items_by_stage: Optional[Dict[int, Tuple[Tuple[object, ...], ...]]]
     instruction_count: int = 0
     word_count: int = 0
+    schedule_safety: Optional[Dict[int, str]] = None
 
     def slot_at(self, pc):
         slot = self.slots.get(pc)
@@ -196,6 +203,8 @@ class SimulationCompiler:
                     for stage in range(self._depth)
                 )
 
+        from repro.analysis import schedule_safety
+
         return SimulationTable(
             level=level,
             slots=slots,
@@ -203,6 +212,7 @@ class SimulationCompiler:
             items_by_stage=items_by_stage,
             instruction_count=instruction_count,
             word_count=word_count,
+            schedule_safety=schedule_safety(model, program),
         )
 
     def compile_portable(self, program, level="sequenced", jobs=None):

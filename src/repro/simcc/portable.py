@@ -62,6 +62,7 @@ class PortableTable:
     has_control: Dict[int, bool]
     instruction_count: int
     word_count: int
+    schedule_safety: Optional[Dict[int, str]] = None
     _code: Optional[object] = field(default=None, repr=False, compare=False)
     _namespace: Optional[dict] = field(default=None, repr=False, compare=False)
 
@@ -127,6 +128,10 @@ class PortableTable:
             items_by_stage=None,
             instruction_count=self.instruction_count,
             word_count=self.word_count,
+            schedule_safety=(
+                dict(self.schedule_safety)
+                if self.schedule_safety is not None else None
+            ),
         )
 
     # -- (de)serialisation --------------------------------------------------
@@ -146,6 +151,10 @@ class PortableTable:
                 for pc, (per_stage, words, insns) in self.table_spec.items()
             },
             "has_control": dict(self.has_control),
+            "schedule_safety": (
+                dict(self.schedule_safety)
+                if self.schedule_safety is not None else None
+            ),
             "code": self.code() if with_code else None,
         }
 
@@ -171,6 +180,13 @@ class PortableTable:
                 int(pc): bool(flag)
                 for pc, flag in payload["has_control"].items()
             },
+            schedule_safety=(
+                {
+                    int(pc): str(verdict)
+                    for pc, verdict in payload["schedule_safety"].items()
+                }
+                if payload.get("schedule_safety") is not None else None
+            ),
             instruction_count=payload["instruction_count"],
             word_count=payload["word_count"],
             _code=payload.get("code"),
@@ -319,6 +335,8 @@ def build_portable_table(model, program, level="sequenced", jobs=None):
                 control_by_pc[member] for member in members
             )
 
+    from repro.analysis import schedule_safety
+
     return PortableTable(
         level=level,
         model_name=model.name,
@@ -328,4 +346,5 @@ def build_portable_table(model, program, level="sequenced", jobs=None):
         has_control=has_control,
         instruction_count=len(tasks),
         word_count=len(tasks),
+        schedule_safety=schedule_safety(model, program),
     )

@@ -7,101 +7,49 @@ unit's in-flight address queue is a storage cell too, so two parallel
 loads corrupt each other).  The linter decodes every execute packet and
 reports write-set collisions between its members.
 
-Cells are identified by the code generator's resolved lvalue text:
-constant-folded element accesses (``s.lsq[0]``) compare exactly, while
-a computed index degrades to a whole-resource wildcard.
+The effects walk lives in :mod:`repro.analysis.effects` (shared with
+CFG recovery and hazard analysis); this module keeps the historical
+assembler-facing surface -- ``written_cells`` and ``lint_vliw_packets``
+-- as thin wrappers over :class:`~repro.analysis.effects.
+EffectsAnalyzer`.  Delegating also fixed an off-by-one in the old
+walker's recursion guard, which allowed sub-operation chains one level
+past the documented depth limit.
 """
 
 from __future__ import annotations
 
-import re
-
-from repro.behavior import ast as bast
-from repro.behavior.codegen import BehaviorCodegen
+from repro.analysis.effects import (
+    EffectsAnalyzer,
+    cells_collide as _cells_collide,  # noqa: F401  (compat re-export)
+    classify_lvalue as _classify,  # noqa: F401  (compat re-export)
+    packet_collisions,
+)
 from repro.coding.decoder import InstructionDecoder
 from repro.machine.packets import packet_extent
-from repro.machine.schedule import build_schedule
-from repro.support.errors import DecodeError, ReproError
-
-_ELEMENT = re.compile(r"^s\.(\w+)\[(\-?\d+)\]$")
-_SCALAR = re.compile(r"^s\.(\w+)$")
-_WILDCARD = re.compile(r"^s\.(\w+)\[")
+from repro.support.errors import DecodeError
 
 
-def _classify(lvalue_source):
-    """Map a generated lvalue to a cell key: (resource, element|None|'*')."""
-    match = _ELEMENT.match(lvalue_source)
-    if match:
-        return (match.group(1), match.group(2))
-    match = _SCALAR.match(lvalue_source)
-    if match:
-        return (match.group(1), None)
-    match = _WILDCARD.match(lvalue_source)
-    if match:
-        return (match.group(1), "*")
-    return None  # behaviour-local: not architectural
-
-
-def _cells_collide(a, b):
-    if a[0] != b[0]:
-        return False
-    return a[1] == b[1] or a[1] == "*" or b[1] == "*"
-
-
-def written_cells(node, model, codegen, _depth=0):
+def written_cells(node, model, codegen):
     """All storage cells an instruction instance may write.
 
     Walks the decode-time-resolved schedule (so only the selected
     variants count) including sub-operation invocations; conditional
     writes inside run-time IFs are included conservatively.
     """
-    cells = set()
-    if _depth > 16:
-        return cells
-    for item in build_schedule(node, model):
-        cells |= _statement_cells(
-            item.behavior.statements, item.node, model, codegen, _depth
-        )
-    return cells
-
-
-def _statement_cells(statements, node, model, codegen, depth):
-    cells = set()
-    for stmt in statements:
-        for sub in bast.walk(stmt):
-            if isinstance(sub, bast.Assign):
-                try:
-                    source, _ = codegen._lvalue(sub.target, node)
-                except ReproError:
-                    continue  # reported elsewhere; not a lint concern
-                cell = _classify(source)
-                if cell is not None:
-                    cells.add(cell)
-            elif isinstance(sub, bast.Call):
-                child = node.children.get(sub.name)
-                if child is None and sub.name in node.operation.references:
-                    kind, payload = node.lookup(sub.name)
-                    child = payload if kind == "child" else None
-                if child is not None and depth <= 16:
-                    variant = child.variant(model)
-                    for behavior in variant.behaviors:
-                        cells |= _statement_cells(
-                            behavior.statements, child, model, codegen,
-                            depth + 1,
-                        )
-    return cells
+    return EffectsAnalyzer(model, codegen).written_cells(node)
 
 
 def lint_vliw_packets(model, program):
     """Lint every execute packet of a VLIW program.
 
-    Returns a list of human-readable warning strings; empty when clean.
-    Non-VLIW models always lint clean.
+    Returns a deduplicated list of human-readable warning strings,
+    sorted by packet address; empty when clean.  Non-VLIW models always
+    lint clean.
     """
     if not model.is_vliw:
         return []
     decoder = InstructionDecoder(model)
-    codegen = BehaviorCodegen(model)
+    analyzer = EffectsAnalyzer(model)
     warnings = []
     for segment in program.segments_in(model.config.program_memory):
         words = segment.words
@@ -115,42 +63,17 @@ def lint_vliw_packets(model, program):
         while pc < limit:
             extent = packet_extent(model, read_word, pc, limit)
             if extent > 1:
+                members = []
+                for address in range(pc, pc + extent):
+                    try:
+                        node = decoder.decode(read_word(address),
+                                              address=address)
+                    except DecodeError:
+                        continue  # undecodable words are data
+                    members.append((address, analyzer.effects_of(node)))
                 warnings.extend(
-                    _lint_packet(model, decoder, codegen, read_word, pc,
-                                 extent)
+                    finding.message
+                    for finding in packet_collisions(members, packet_pc=pc)
                 )
             pc += extent
     return warnings
-
-
-def _lint_packet(model, decoder, codegen, read_word, pc, extent):
-    members = []
-    for address in range(pc, pc + extent):
-        try:
-            node = decoder.decode(read_word(address), address=address)
-        except DecodeError:
-            continue  # undecodable words are data, not packet members
-        members.append((address, written_cells(node, model, codegen)))
-    warnings = []
-    for i, (addr_a, cells_a) in enumerate(members):
-        for addr_b, cells_b in members[i + 1:]:
-            for cell_a in cells_a:
-                for cell_b in cells_b:
-                    if _cells_collide(cell_a, cell_b):
-                        warnings.append(
-                            "packet at 0x%x: parallel instructions at "
-                            "0x%x and 0x%x both write %s"
-                            % (pc, addr_a, addr_b,
-                               _cell_text(cell_a, cell_b))
-                        )
-    return warnings
-
-
-def _cell_text(cell_a, cell_b):
-    resource = cell_a[0]
-    element = cell_a[1] if cell_a[1] != "*" else cell_b[1]
-    if element is None:
-        return resource
-    if element == "*":
-        return "%s[...]" % resource
-    return "%s[%s]" % (resource, element)

@@ -1,0 +1,466 @@
+"""Tests for the simulation-compile-time program analyzer.
+
+Covers the three passes (effects, CFG recovery, hazards), the shared
+report format, the verdict gating of static scheduling, and the
+acceptance properties: the injected defect classes are detected, the
+example applications analyse clean, and every statically composed
+pipeline window is proven hazard-free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    CONFLICTING,
+    HAZARD_FREE,
+    UNKNOWN,
+    analyze_program,
+    schedule_safety,
+)
+from repro.analysis import effects as effects_mod
+from repro.analysis.cfg import build_cfg
+from repro.analysis.effects import EffectsAnalyzer
+from repro.analysis.report import Report
+from repro.apps import build_adpcm, build_fir, build_gsm
+from repro.sim import create_simulator
+from repro.support.errors import SimulationError
+
+
+def _analyze(model, tools, text):
+    return analyze_program(model, tools.assembler.assemble_text(text))
+
+
+def _checks(result):
+    return {f.check for f in result.report}
+
+
+# -- report ------------------------------------------------------------------
+
+
+class TestReport:
+    def test_deduplicates_on_insert(self):
+        report = Report()
+        report.add("warning", 4, "hazard.raw", "same thing")
+        report.add("warning", 4, "hazard.raw", "same thing")
+        assert len(report) == 1
+
+    def test_sorted_by_address_then_message(self):
+        report = Report()
+        report.add("note", 8, "cfg.dead-write", "zzz")
+        report.add("error", 8, "cfg.packet-middle", "aaa")
+        report.add("warning", 2, "hazard.waw", "mmm")
+        report.add("warning", None, "model.diagnostic", "global")
+        ordered = report.sorted_findings()
+        assert [f.address for f in ordered] == [None, 2, 8, 8]
+        assert [f.message for f in ordered][2:] == ["aaa", "zzz"]
+
+    def test_exit_codes(self):
+        report = Report()
+        assert report.exit_code() == 0
+        report.add("note", 0, "x", "n")
+        assert report.exit_code(werror=True) == 0
+        report.add("warning", 0, "x", "w")
+        assert report.exit_code() == 0
+        assert report.exit_code(werror=True) == 1
+        report.add("error", 0, "x", "e")
+        assert report.exit_code() == 1
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Report().add("fatal", 0, "x", "m")
+
+
+# -- effects -----------------------------------------------------------------
+
+
+class TestEffects:
+    def _effects(self, c62x, c62x_tools, text):
+        word = c62x_tools.assembler.assemble_text(text).segments_in(
+            c62x.config.program_memory
+        )[0].words[0]
+        node = c62x_tools.decoder.decode(word)
+        return EffectsAnalyzer(c62x).effects_of(node)
+
+    def test_add_stage_resolved(self, c62x, c62x_tools):
+        fx = self._effects(c62x, c62x_tools, "add a3, a1, a2")
+        e1 = c62x.pipeline.stage_index("E1")
+        assert ("A", "3") in fx.stages[e1].writes
+        assert {("A", "1"), ("A", "2")} <= fx.stages[e1].reads
+        # No other stage touches storage.
+        for index, stage in enumerate(fx.stages):
+            if index != e1:
+                assert not stage.writes
+        assert not fx.truncated and not fx.has_control
+
+    def test_load_spans_pipeline(self, c62x, c62x_tools):
+        fx = self._effects(c62x, c62x_tools, "ldw a5, a4, 0")
+        e1 = c62x.pipeline.stage_index("E1")
+        e5 = c62x.pipeline.stage_index("E5")
+        assert ("lsq", "0") in fx.stages[e1].writes
+        assert ("A", "4") in fx.stages[e1].reads
+        # The destination write (through the REFERENCE) lands in E5.
+        assert ("A", "5") in fx.stages[e5].writes
+        assert ("dmem", "*") in fx.stages[e5].reads
+
+    def test_store_wildcard(self, c62x, c62x_tools):
+        fx = self._effects(c62x, c62x_tools, "stw a1, a4, 0")
+        assert ("dmem", "*") in fx.writes
+
+    def test_branch_pc_writes(self, c62x, c62x_tools):
+        fx = self._effects(c62x, c62x_tools, "b 12")
+        dc = c62x.pipeline.stage_index("DC")
+        [(stage, write)] = fx.pc_write_stages()
+        assert stage == dc
+        assert write.target == 12
+        assert not write.conditional
+
+    def test_conditional_branch(self, c62x, c62x_tools):
+        fx = self._effects(c62x, c62x_tools, "bnz a1, 12")
+        [(_, write)] = fx.pc_write_stages()
+        assert write.conditional
+
+    def test_depth_guard_truncates_conservatively(
+        self, c62x, c62x_tools, monkeypatch
+    ):
+        # The guard fires on entry (the old walker let the last level
+        # recurse one past the limit); at -1 even the root walk refuses.
+        monkeypatch.setattr(effects_mod, "MAX_CALL_DEPTH", -1)
+        fx = self._effects(c62x, c62x_tools, "add a3, a1, a2")
+        assert fx.truncated
+        assert not fx.writes
+
+    def test_lint_written_cells_delegates(self, c62x, c62x_tools):
+        from repro.behavior.codegen import BehaviorCodegen
+        from repro.tools.lint import written_cells
+
+        word = c62x_tools.assembler.assemble_text(
+            "ldw a5, a4, 0"
+        ).segments_in(c62x.config.program_memory)[0].words[0]
+        node = c62x_tools.decoder.decode(word)
+        cells = written_cells(node, c62x, BehaviorCodegen(c62x))
+        assert cells == EffectsAnalyzer(c62x).written_cells(node)
+        assert ("A", "5") in cells
+
+    def test_stale_identity_does_not_alias_variants(self, c62x, c62x_tools):
+        # One analyzer over a stream of transient nodes: resolution must
+        # track each node, not a recycled id from a collected one.
+        analyzer = EffectsAnalyzer(c62x)
+        words = c62x_tools.assembler.assemble_text(
+            "ldw a5, a4, 0\nldw b5, b4, 0"
+        ).segments_in(c62x.config.program_memory)[0].words
+        for word, cell in zip(words, (("A", "5"), ("B", "5"))):
+            fx = analyzer.effects_of(c62x_tools.decoder.decode(word))
+            assert cell in fx.writes
+
+
+# -- CFG recovery ------------------------------------------------------------
+
+
+class TestCFG:
+    def test_packet_boundaries(self, c62x, c62x_tools):
+        program = c62x_tools.assembler.assemble_text(
+            "mvk a1, 1\n || mvk a2, 2\nhalt"
+        )
+        cfg = build_cfg(c62x, program)
+        assert cfg.order[0] == 0
+        assert cfg.packets[0].extent == 2
+        assert len(cfg.packets[0].members) == 2
+        assert cfg.packets[2].extent == 1
+
+    def test_branch_recovered(self, c62x, c62x_tools):
+        program = c62x_tools.assembler.assemble_text("b 2\nnop\nhalt")
+        cfg = build_cfg(c62x, program)
+        [branch] = cfg.packets[0].branches
+        assert branch.targets == (2,)
+        assert branch.stage == c62x.pipeline.stage_index("DC")
+        assert cfg.delay_cycles(branch) == branch.stage
+
+    def test_branch_into_packet_middle(self, c62x, c62x_tools):
+        result = _analyze(c62x, c62x_tools, """
+            .equ skip, 7
+            b skip
+            nop
+            nop
+            nop
+            nop
+            nop
+            add a1, a1, a2
+         || add a2, a2, a3
+            halt
+        """)
+        [finding] = result.report.errors
+        assert finding.check == "cfg.packet-middle"
+        assert "0x7" in finding.message and "0x6" in finding.message
+
+    def test_branch_out_of_segment(self, c62x, c62x_tools):
+        result = _analyze(c62x, c62x_tools, "b 500\nhalt")
+        [finding] = result.report.errors
+        assert finding.check == "cfg.out-of-segment"
+
+    def test_branch_into_delay_slots(self, c62x, c62x_tools):
+        result = _analyze(c62x, c62x_tools, """
+            b 7
+            nop
+            nop
+            nop
+            nop
+            nop
+            b 3
+            nop
+            nop
+            nop
+            nop
+            nop
+            halt
+        """)
+        warnings = [f for f in result.report.warnings
+                    if f.check == "cfg.delay-slot"]
+        # Both branches target the other's delay window (0x7 sits in
+        # the slots of the branch at 0x6, 0x3 in those of 0x0).
+        assert len(warnings) == 2
+        assert any(
+            "0x3" in f.message and "0x0" in f.message for f in warnings
+        )
+
+    def test_unreachable_after_flush_branch(self, tinydsp, tinydsp_tools):
+        result = _analyze(tinydsp, tinydsp_tools, """
+            br 3
+            ldi r1, 1
+            ldi r2, 2
+            halt
+        """)
+        notes = [f for f in result.report.notes
+                 if f.check == "cfg.unreachable"]
+        assert {f.address for f in notes} == {1, 2}
+
+    def test_dead_write_noted(self, c62x, c62x_tools):
+        result = _analyze(c62x, c62x_tools, "mvk a1, 1\nmvk a1, 2\nhalt")
+        [finding] = [f for f in result.report.notes
+                     if f.check == "cfg.dead-write"]
+        assert finding.address == 0
+        assert "A[1]" in finding.message
+
+    def test_read_retires_pending_write(self, c62x, c62x_tools):
+        # Same shape, but the value is consumed (five delay slots after
+        # the writing packet, so no hazard either): nothing to report.
+        result = _analyze(c62x, c62x_tools, """
+            mvk a1, 1
+            add a2, a1, a1
+            mvk a1, 2
+            halt
+        """)
+        assert not [f for f in result.report.notes
+                    if f.check == "cfg.dead-write"]
+
+
+# -- hazards -----------------------------------------------------------------
+
+
+class TestHazards:
+    def test_load_use_raw(self, c62x, c62x_tools):
+        result = _analyze(c62x, c62x_tools, """
+            mvk a4, 100
+            ldw a5, a4, 0
+            add a6, a5, a5
+            halt
+        """)
+        assert "hazard.raw" in _checks(result)
+        assert result.safety[1] == CONFLICTING
+        assert result.safety[2] == CONFLICTING
+        assert result.safety[0] == HAZARD_FREE
+
+    def test_load_respects_delay_slots(self, c62x, c62x_tools):
+        result = _analyze(c62x, c62x_tools, """
+            mvk a4, 100
+            ldw a5, a4, 0
+            nop
+            nop
+            nop
+            add a6, a5, a5
+            halt
+        """)
+        assert not result.report.warnings
+        assert set(result.safety.values()) == {HAZARD_FREE}
+
+    def test_waw_across_cycles(self, c62x, c62x_tools):
+        result = _analyze(c62x, c62x_tools, """
+            ldw a5, a4, 0
+            nop
+            mvk a5, 7
+            halt
+        """)
+        assert "hazard.waw" in _checks(result)
+        assert result.safety[0] == CONFLICTING
+
+    def test_single_stage_model_hazard_free(self, tinydsp, tinydsp_tools):
+        # Every tinydsp operation executes in EX, so no cross-cycle
+        # ordering violation is expressible.
+        result = _analyze(tinydsp, tinydsp_tools, """
+            ldi r1, 3
+            add r2, r2, r1
+            mul r3, r2, r2
+            st r3, 7
+            halt
+        """)
+        assert not result.report.warnings and not result.report.errors
+        assert set(result.safety.values()) == {HAZARD_FREE}
+
+    def test_verdicts_cover_every_packet(self, c62x, c62x_tools):
+        program = c62x_tools.assembler.assemble_text(
+            "mvk a1, 1\n || mvk a2, 2\nnop\nhalt"
+        )
+        cfg = build_cfg(c62x, program)
+        verdicts = schedule_safety(c62x, program)
+        assert set(verdicts) == set(cfg.order)
+
+    def test_undecodable_word_is_unknown(self, c62x, c62x_tools):
+        result = _analyze(c62x, c62x_tools, "nop\n.word 0xffffffff\nhalt")
+        assert result.safety[1] == UNKNOWN
+
+
+# -- scheduler gating --------------------------------------------------------
+
+
+RAW_PROGRAM = """
+    mvk a4, 100
+    ldw a5, a4, 0
+    add a6, a5, a5
+    halt
+"""
+
+CLEAN_PROGRAM = """
+    mvk a4, 100
+    ldw a5, a4, 0
+    nop
+    nop
+    nop
+    add a6, a5, a5
+    halt
+"""
+
+
+class TestScheduleGating:
+    def test_table_carries_verdicts(self, c62x, c62x_tools):
+        from repro.machine.control import PipelineControl
+        from repro.machine.state import ProcessorState
+
+        program = c62x_tools.assembler.assemble_text(RAW_PROGRAM)
+        state = ProcessorState(c62x)
+        control = PipelineControl()
+        table = c62x_tools.simulation_compiler.compile(
+            program, state, control
+        )
+        assert table.schedule_safety is not None
+        assert table.schedule_safety[1] == CONFLICTING
+        assert table.schedule_safety[0] == HAZARD_FREE
+
+    def test_conflicting_window_falls_back_dynamic(self, c62x, c62x_tools):
+        reference = create_simulator(c62x, "interpretive")
+        program = c62x_tools.assembler.assemble_text(RAW_PROGRAM)
+        reference.load_program(program)
+        reference.run()
+        sim = create_simulator(c62x, "static")
+        sim.load_program(program)
+        sim.run()
+        assert sim.state.read_register("A", 6) == \
+            reference.state.read_register("A", 6)
+        # The conflicting pcs were never statically composed.
+        for node in sim.engine._interned.values():
+            if node.column is not None:
+                assert all(pc not in (1, 2) for pc in node.pcs)
+
+    def test_verify_schedule_raises_on_conflict(self, c62x, c62x_tools):
+        sim = create_simulator(c62x, "static", verify_schedule=True)
+        program = c62x_tools.assembler.assemble_text(RAW_PROGRAM)
+        with pytest.raises(SimulationError, match="hazard"):
+            sim.load_program(program)
+            sim.run()
+
+    def test_verify_schedule_passes_clean_program(self, c62x, c62x_tools):
+        sim = create_simulator(c62x, "static", verify_schedule=True)
+        sim.load_program(c62x_tools.assembler.assemble_text(CLEAN_PROGRAM))
+        sim.run()
+        assert sim.state.read_register("A", 6) == \
+            2 * sim.state.read_memory("dmem", 100)
+
+    def test_legacy_table_without_verdicts_composes(self, c62x, c62x_tools):
+        from repro.machine.control import PipelineControl
+        from repro.machine.state import ProcessorState
+        from repro.sim.static import StaticPipeline
+
+        # Long enough that full pipeline windows exist with the halt
+        # (a control instruction) not yet in flight.
+        program = c62x_tools.assembler.assemble_text(
+            "\n".join("add a1, a1, a1" for _ in range(24)) + "\nhalt"
+        )
+        state = ProcessorState(c62x)
+        control = PipelineControl()
+        program.load_into(state)
+        table = c62x_tools.simulation_compiler.compile(
+            program, state, control
+        )
+        table.schedule_safety = None  # hand-built/legacy table
+        pipeline = StaticPipeline(c62x, state, control, table)
+        pipeline.run()
+        assert any(
+            node.column for node in pipeline._interned.values()
+        )
+
+
+# -- acceptance: the example applications ------------------------------------
+
+
+APPS = (("fir", build_fir), ("adpcm", build_adpcm), ("gsm", build_gsm))
+
+
+class TestApplicationsAnalyzeClean:
+    @pytest.mark.parametrize("name,builder", APPS, ids=[a[0] for a in APPS])
+    def test_no_findings_all_hazard_free(self, c62x, c62x_tools, name,
+                                         builder):
+        program = builder().assemble(c62x_tools)
+        result = analyze_program(c62x, program)
+        assert not result.report.errors
+        assert not result.report.warnings
+        counts = result.verdict_counts()
+        assert counts[CONFLICTING] == 0 and counts[UNKNOWN] == 0
+        assert counts[HAZARD_FREE] == len(result.cfg.order)
+
+
+class TestStaticWindowsProperty:
+    """Every statically composed window is proven hazard-free."""
+
+    @pytest.mark.parametrize("kind", ["static", "unfolded_static"])
+    @pytest.mark.parametrize("name,builder", APPS[:2],
+                             ids=[a[0] for a in APPS[:2]])
+    def test_composed_windows_are_proven(self, c62x, c62x_tools, kind,
+                                         name, builder):
+        program = builder().assemble(c62x_tools)
+        sim = create_simulator(c62x, kind)
+        sim.load_program(program)
+        sim.run()
+        safety = sim.table.schedule_safety
+        assert safety is not None
+        composed = 0
+        for node in sim.engine._interned.values():
+            if node.column is None or node.empty:
+                continue
+            composed += 1
+            for pc in node.pcs:
+                assert pc is None or safety[pc] == HAZARD_FREE
+        # Static composition actually happened (the gate did not just
+        # push everything onto the dynamic path).
+        assert composed > 0
+
+    def test_gsm_runs_fully_static(self, c62x, c62x_tools):
+        program = build_gsm().assemble(c62x_tools)
+        sim = create_simulator(c62x, "static", verify_schedule=True)
+        sim.load_program(program)
+        sim.run()  # raises if any window is not proven hazard-free
+        safety = sim.table.schedule_safety
+        for node in sim.engine._interned.values():
+            if node.column is not None and not node.empty:
+                assert all(
+                    pc is None or safety[pc] == HAZARD_FREE
+                    for pc in node.pcs
+                )

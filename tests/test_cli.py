@@ -172,3 +172,125 @@ while (i != 4) {
 
         with pytest.raises(SystemExit):
             kcc_main(["tinydsp", "/nonexistent.k"])
+
+
+RAW_C62X = """
+    mvk a4, 100
+    ldw a5, a4, 0
+    add a6, a5, a5
+    halt
+"""
+
+CLEAN_C62X = """
+    mvk a4, 100
+    ldw a5, a4, 0
+    nop
+    nop
+    nop
+    add a6, a5, a5
+    halt
+"""
+
+BAD_BRANCH_C62X = """
+    b 500
+    halt
+"""
+
+
+class TestLintMain:
+    @pytest.fixture
+    def c62x_asm(self, tmp_path):
+        def write(text):
+            path = tmp_path / "prog.asm"
+            path.write_text(text)
+            return str(path)
+
+        return write
+
+    def test_clean_program_exits_zero(self, capsys, c62x_asm):
+        from repro.cli import lint_main
+
+        assert lint_main(["c62x", c62x_asm(CLEAN_C62X)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+        assert "hazard_free" in out
+
+    def test_hazard_warning_exits_zero_without_werror(self, capsys,
+                                                      c62x_asm):
+        from repro.cli import lint_main
+
+        assert lint_main(["c62x", c62x_asm(RAW_C62X)]) == 0
+        assert "RAW hazard" in capsys.readouterr().out
+
+    def test_werror_promotes_warnings(self, capsys, c62x_asm):
+        from repro.cli import lint_main
+
+        assert lint_main(["c62x", c62x_asm(RAW_C62X), "--Werror"]) == 1
+        capsys.readouterr()
+
+    def test_error_finding_exits_one(self, capsys, c62x_asm):
+        from repro.cli import lint_main
+
+        assert lint_main(["c62x", c62x_asm(BAD_BRANCH_C62X)]) == 1
+        assert "out" in capsys.readouterr().out
+
+    def test_json_output(self, capsys, c62x_asm):
+        import json as json_mod
+
+        from repro.cli import lint_main
+
+        assert lint_main(["c62x", c62x_asm(RAW_C62X), "--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["counts"]["warning"] >= 1
+        assert payload["findings"][0]["check"].startswith("hazard.")
+        assert payload["safety"]["0x1"] == "conflicting"
+        assert payload["verdicts"]["conflicting"] == 2
+
+    def test_object_file_input(self, capsys, tmp_path, c62x_asm):
+        from repro.cli import lint_main
+
+        obj = str(tmp_path / "p.dspo")
+        asm_main(["c62x", c62x_asm(CLEAN_C62X), "-o", obj])
+        capsys.readouterr()
+        assert lint_main(["c62x", obj]) == 0
+
+    def test_compile_failure_exits_two(self, tmp_path):
+        from repro.cli import lint_main
+
+        bad = tmp_path / "bad.asm"
+        bad.write_text("definitely not c62x assembly\n")
+        with pytest.raises(SystemExit) as excinfo:
+            lint_main(["c62x", str(bad)])
+        assert excinfo.value.code == 2
+
+    def test_deterministic_output(self, capsys, c62x_asm):
+        from repro.cli import lint_main
+
+        path = c62x_asm(RAW_C62X)
+        lint_main(["c62x", path])
+        first = capsys.readouterr().out
+        lint_main(["c62x", path])
+        assert capsys.readouterr().out == first
+
+
+class TestVerifySchedule:
+    def test_requires_static_kind(self, tmp_path):
+        prog = tmp_path / "p.asm"
+        prog.write_text(CLEAN_C62X)
+        with pytest.raises(SystemExit) as excinfo:
+            sim_main(["c62x", str(prog), "--verify-schedule"])
+        assert excinfo.value.code == 2
+
+    def test_clean_program_verifies(self, capsys, tmp_path):
+        prog = tmp_path / "p.asm"
+        prog.write_text(CLEAN_C62X)
+        assert sim_main(["c62x", str(prog), "-k", "static",
+                         "--verify-schedule"]) == 0
+        assert "halted" in capsys.readouterr().out
+
+    def test_conflicting_program_fails(self, capsys, tmp_path):
+        prog = tmp_path / "p.asm"
+        prog.write_text(RAW_C62X)
+        with pytest.raises(SystemExit):
+            sim_main(["c62x", str(prog), "-k", "static",
+                      "--verify-schedule"])

@@ -292,3 +292,52 @@ class TestParallelSerial:
         assert fanned_stats.cycles == serial_stats.cycles
         assert fanned_stats.instructions == serial_stats.instructions
         assert fanned.state.differences(serial.state) == []
+
+
+class TestScheduleSafetyRoundTrip:
+    """Hazard verdicts survive the portable payload and the disk cache."""
+
+    def test_portable_table_carries_verdicts(self, testmodel, program):
+        portable = build_portable_table(testmodel, program)
+        assert portable.schedule_safety is not None
+        assert set(portable.schedule_safety.values()) <= {
+            "hazard_free", "conflicting", "unknown"
+        }
+
+    def test_payload_round_trip(self, testmodel, program):
+        from repro.simcc.portable import PortableTable
+
+        portable = build_portable_table(testmodel, program)
+        clone = PortableTable.from_payload(portable.to_payload())
+        assert clone.schedule_safety == portable.schedule_safety
+
+    def test_bound_table_inherits_verdicts(self, testmodel, program):
+        portable = build_portable_table(testmodel, program)
+        state, control = _fresh_engine(testmodel, program)
+        table = portable.bind(state, control)
+        assert table.schedule_safety == portable.schedule_safety
+
+    def test_disk_round_trip(self, testmodel, program, cache):
+        fresh = _load(testmodel, program, cache)
+        reopened = SimulationCache(cache.root)
+        warmed = _load(testmodel, program, reopened)
+        assert reopened.stats["disk_hits"] == 1
+        assert warmed.schedule_safety == fresh.schedule_safety
+        assert warmed.schedule_safety is not None
+
+    def test_cached_and_compiled_verdicts_agree(self, testmodel, program,
+                                                cache):
+        cached = _load(testmodel, program, cache)
+        simcc = generate_simulation_compiler(testmodel, validate=False)
+        state, control = _fresh_engine(testmodel, program)
+        compiled = simcc.compile(program, state, control)
+        assert cached.schedule_safety == compiled.schedule_safety
+
+    def test_emitted_module_carries_verdicts(self, testmodel, program):
+        from repro.simcc.emit import render_module
+
+        portable = build_portable_table(testmodel, program)
+        source = render_module(testmodel, program, portable)
+        namespace = {}
+        exec(compile(source, "<emitted>", "exec"), namespace)
+        assert namespace["SCHEDULE_SAFETY"] == portable.schedule_safety
