@@ -1,0 +1,220 @@
+"""Observability overhead: the disabled path must be (near) free.
+
+The instrumentation layer (:mod:`repro.obs`) promises that a simulator
+with no observer attached runs the same hot loop as before the layer
+existed: ``step`` is an instance attribute bound to an unhooked
+``_step_plain`` whose body is identical to the pre-instrumentation
+``Pipeline.step``.  This benchmark holds it to that promise by racing
+the current disabled path against a verbatim replica of the
+pre-instrumentation pipeline driver on the FIR workload and asserting
+the wall-time ratio stays within ``MAX_DISABLED_OVERHEAD``.
+
+The enabled configurations (metrics-only observer, full event
+recording) are measured alongside for the record -- they are expected
+to cost real time; the point of the dual-path design is that only
+people who ask for tracing pay it.
+
+Writes ``BENCH_trace_overhead.json`` so CI can track the ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from functools import partial
+
+from repro import obs
+from repro.bench import load_app_program
+from repro.bench.reporting import ExperimentReport, results_dir
+from repro.sim import create_simulator
+from repro.support.errors import SimulationError
+
+#: The acceptance bar: disabled-tracing FIR wall time vs the
+#: pre-instrumentation replica.
+MAX_DISABLED_OVERHEAD = 1.05
+
+#: Best-of-N timing per configuration, re-raced on a noisy first try.
+TRIALS = 5
+RETRIES = 3
+
+
+class _BaselinePipeline:
+    """The pre-instrumentation pipeline driver, replicated verbatim.
+
+    This is ``repro.machine.driver.Pipeline`` as it stood before the
+    observability layer: ``step`` is a plain method and there is no
+    observer slot.  Kept here (not in the package) because its only job
+    is to be the honest baseline for the overhead assertion.
+    """
+
+    __slots__ = (
+        "_model", "_state", "_control", "_frontend", "_pc_name",
+        "_depth", "_watcher", "_read_pc", "_write_pc", "slots",
+        "cycles", "instructions_retired",
+    )
+
+    def __init__(self, model, state, control, frontend, watcher=None):
+        self._model = model
+        self._state = state
+        self._control = control
+        self._frontend = frontend
+        self._pc_name = model.pc_name
+        self._depth = model.pipeline.depth
+        self._watcher = watcher
+        self._read_pc = partial(getattr, state, self._pc_name)
+        self._write_pc = partial(setattr, state, self._pc_name)
+        self.slots = [None] * self._depth
+        self.cycles = 0
+        self.instructions_retired = 0
+
+    @property
+    def drained(self):
+        return all(slot is None for slot in self.slots)
+
+    def step(self):
+        control = self._control
+        slots = self.slots
+
+        retiring = slots.pop()
+        if retiring is not None:
+            self.instructions_retired += retiring.insn_count
+        if control.halted:
+            incoming = None
+        elif control.stall_cycles > 0:
+            control.stall_cycles -= 1
+            incoming = None
+        else:
+            pc = self._read_pc()
+            incoming = self._frontend(pc)
+            if incoming is not None:
+                self._write_pc(pc + incoming.words)
+        slots.insert(0, incoming)
+
+        for stage in range(self._depth - 1, -1, -1):
+            slot = slots[stage]
+            if slot is None:
+                continue
+            if stage < control.flush_below:
+                slots[stage] = None
+                continue
+            ops = slot.ops_by_stage[stage]
+            if ops:
+                control.current_stage = stage
+                for fn in ops:
+                    fn()
+        control.flush_below = -1
+
+        self.cycles += 1
+        if self._watcher is not None:
+            self._watcher(self)
+
+    def run(self, max_cycles=50_000_000):
+        start = self.cycles
+        while not (self._control.halted and self.drained):
+            if self.cycles - start >= max_cycles:
+                raise SimulationError(
+                    "simulation exceeded %d cycles without halting"
+                    % max_cycles
+                )
+            self.step()
+        return self.cycles - start
+
+
+def _fresh_engine(model, program, baseline=False, observer_factory=None):
+    observer = observer_factory() if observer_factory else None
+    simulator = create_simulator(model, "compiled", observer=observer)
+    simulator.load_program(program)
+    if baseline:
+        return _BaselinePipeline(
+            model, simulator.state, simulator.control,
+            simulator.table.make_frontend(model),
+        )
+    return simulator.engine
+
+
+def _best_run_seconds(model, program, max_cycles, **kwargs):
+    """Best-of-``TRIALS`` wall time of the engine's run loop alone
+    (fresh state per trial; load/compile time excluded)."""
+    best = float("inf")
+    cycles = None
+    for _ in range(TRIALS):
+        engine = _fresh_engine(model, program, **kwargs)
+        start = time.perf_counter()
+        engine.run(max_cycles)
+        best = min(best, time.perf_counter() - start)
+        cycles = engine.cycles
+    return best, cycles
+
+
+def test_trace_overhead(benchmark, fir_app):
+    """Disabled observability costs <= 5% on the FIR run loop."""
+    model, program = load_app_program(fir_app)
+    max_cycles = fir_app.max_cycles
+
+    # Race disabled vs the replica; re-race on scheduler noise.
+    ratio = baseline_s = disabled_s = None
+    for _ in range(RETRIES):
+        baseline_s, baseline_cycles = _best_run_seconds(
+            model, program, max_cycles, baseline=True)
+        disabled_s, disabled_cycles = _best_run_seconds(
+            model, program, max_cycles)
+        assert disabled_cycles == baseline_cycles
+        ratio = disabled_s / baseline_s
+        if ratio <= MAX_DISABLED_OVERHEAD:
+            break
+
+    metrics_s, _ = _best_run_seconds(
+        model, program, max_cycles,
+        observer_factory=lambda: obs.Observer(record=False),
+    )
+    full_s, _ = _best_run_seconds(
+        model, program, max_cycles,
+        observer_factory=obs.Observer,
+    )
+
+    report = ExperimentReport(
+        "BENCH-trace-overhead",
+        "observability overhead on the FIR run loop",
+        "the disabled dual-path step must match the pre-"
+        "instrumentation driver",
+    )
+    report.add_row(
+        workload=fir_app.name,
+        cycles=baseline_cycles,
+        baseline_s=baseline_s,
+        disabled_s=disabled_s,
+        disabled_ratio=ratio,
+        metrics_only_s=metrics_s,
+        full_trace_s=full_s,
+    )
+    report.emit()
+
+    payload = {
+        "experiment": "trace-overhead",
+        "workload": fir_app.name,
+        "cycles": baseline_cycles,
+        "baseline_seconds": baseline_s,
+        "disabled_seconds": disabled_s,
+        "disabled_overhead_ratio": ratio,
+        "metrics_only_seconds": metrics_s,
+        "full_trace_seconds": full_s,
+        "metrics_only_overhead_ratio": metrics_s / baseline_s,
+        "full_trace_overhead_ratio": full_s / baseline_s,
+        "threshold": MAX_DISABLED_OVERHEAD,
+    }
+    path = os.path.join(results_dir(), "BENCH_trace_overhead.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    assert ratio <= MAX_DISABLED_OVERHEAD, (
+        "disabled-observability FIR run %.4fs is %.3fx the "
+        "pre-instrumentation baseline %.4fs (bar: %.2fx)"
+        % (disabled_s, ratio, baseline_s, MAX_DISABLED_OVERHEAD)
+    )
+
+    benchmark.pedantic(
+        lambda: _fresh_engine(model, program).run(max_cycles),
+        rounds=3, iterations=1,
+    )

@@ -60,23 +60,33 @@ class AnalysisResult:
         return payload
 
 
-def analyze_program(model, program, packet_lint=True):
+def analyze_program(model, program, packet_lint=True, observer=None):
     """Run effects, CFG and hazard analysis over one program.
 
     ``packet_lint`` additionally runs the VLIW write-collision check
     (the :mod:`repro.tools.lint` pass) into the same report.
+    ``observer`` records one phase span per pass and a
+    ``hazard.verdict`` trace event per analysed packet.
     """
+    from repro import obs as _obs
+
     report = Report()
     analyzer = EffectsAnalyzer(model)
-    cfg = build_cfg(model, program, analyzer=analyzer)
+    with _obs.span(observer, "analysis.cfg"):
+        cfg = build_cfg(model, program, analyzer=analyzer)
     if packet_lint and model.is_vliw:
-        for pc in cfg.order:
-            packet = cfg.packets[pc]
-            if packet.extent > 1:
-                packet_collisions(packet.members, report=report,
-                                  packet_pc=packet.pc)
+        with _obs.span(observer, "analysis.lint", packets=len(cfg.order)):
+            for pc in cfg.order:
+                packet = cfg.packets[pc]
+                if packet.extent > 1:
+                    packet_collisions(packet.members, report=report,
+                                      packet_pc=packet.pc)
     check_cfg(cfg, report)
-    safety = analyze_hazards(cfg, report=report)
+    with _obs.span(observer, "analysis.hazards"):
+        safety = analyze_hazards(cfg, report=report)
+    if observer is not None:
+        for pc, verdict in sorted(safety.items()):
+            observer.on_hazard_verdict(pc, verdict)
     return AnalysisResult(report=report, safety=safety, cfg=cfg)
 
 

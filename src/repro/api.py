@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.lisa.semantics import compile_source
 from repro.support.errors import ReproError
@@ -125,7 +125,7 @@ class Toolset:
         return self._cache["simcc"]
 
     def new_simulator(self, kind="compiled", cache=None, jobs=None,
-                      verify_schedule=False):
+                      verify_schedule=False, observer=None):
         """Create a fresh simulator.
 
         ``kind`` is one of ``interpretive``, ``predecoded`` (compiled
@@ -137,13 +137,30 @@ class Toolset:
         compilation persistent across runs; ``jobs`` parallelises cold
         compiles.  ``verify_schedule`` (static kinds) raises instead of
         falling back to dynamic scheduling on unproven windows.
+        ``observer`` (see :func:`new_observer` / :mod:`repro.obs`)
+        enables trace events, compile-phase spans and metrics.
         """
         from repro.sim import create_simulator
 
         return create_simulator(self.model, kind, cache=cache, jobs=jobs,
-                                verify_schedule=verify_schedule)
+                                verify_schedule=verify_schedule,
+                                observer=observer)
 
-    def analyze(self, program, packet_lint=True):
+    def new_observer(self, program=None, **kwargs):
+        """Create a :class:`repro.obs.Observer` for this model.
+
+        When ``program`` is given, the observer folds per-address
+        dispatch counts into per-opcode counts at run end using the
+        generated disassembler.  Remaining keyword arguments pass
+        through to the :class:`~repro.obs.Observer` constructor.
+        """
+        from repro import obs
+
+        if program is not None and "labeler" not in kwargs:
+            kwargs["labeler"] = obs.opcode_labeler(self.model, program)
+        return obs.Observer(**kwargs)
+
+    def analyze(self, program, packet_lint=True, observer=None):
         """Run the static analysis passes over an assembled program.
 
         Returns a :class:`repro.analysis.AnalysisResult` holding the
@@ -153,7 +170,7 @@ class Toolset:
         from repro.analysis import analyze_program
 
         return analyze_program(self.model, program,
-                               packet_lint=packet_lint)
+                               packet_lint=packet_lint, observer=observer)
 
 
 def build_toolset(model):
@@ -163,11 +180,12 @@ def build_toolset(model):
     return Toolset(model)
 
 
-def analyze_program(model, program, packet_lint=True):
+def analyze_program(model, program, packet_lint=True, observer=None):
     """Run the static analysis passes over an assembled program.
 
     Convenience re-export of :func:`repro.analysis.analyze_program`.
     """
     from repro.analysis import analyze_program as _analyze
 
-    return _analyze(model, program, packet_lint=packet_lint)
+    return _analyze(model, program, packet_lint=packet_lint,
+                    observer=observer)

@@ -11,6 +11,10 @@
 ``repro-lint``
     Static analysis of an assembled program (packet collisions,
     control-flow defects, cross-cycle pipeline hazards).
+``repro-trace``
+    Run a program fully instrumented and export the trace (Chrome
+    trace-event format for Perfetto, JSON-lines, or a text summary)
+    plus the metrics snapshot.
 
 Every command that compiles a model prints the model's compile
 diagnostics to stderr; ``--Werror`` turns diagnosed warnings into a
@@ -68,6 +72,53 @@ def _load_program(model, path):
     if path.endswith((".asm", ".s")):
         return build_toolset(model).assembler.assemble_file(path)
     return Program.load(path)
+
+
+def _add_trace_flags(parser):
+    from repro.obs import TRACE_FORMATS
+
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="record trace events and phase spans and write them to "
+        "PATH (see --trace-format)",
+    )
+    parser.add_argument(
+        "--trace-format", choices=TRACE_FORMATS, default="chrome",
+        help="trace file format: 'chrome' loads in Perfetto / "
+        "chrome://tracing, 'jsonl' is one JSON record per line, "
+        "'summary' is a human-readable report (default: chrome)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the metrics snapshot (counters, gauges, "
+        "histograms) as JSON to PATH",
+    )
+
+
+def _make_observer(args, model, program):
+    """An observer when any trace/metrics output was requested."""
+    from repro import obs
+
+    if not (args.trace or args.metrics_out):
+        return None
+    return obs.Observer(labeler=obs.opcode_labeler(model, program))
+
+
+def _write_observer_outputs(observer, args, process_name):
+    from repro import obs
+
+    if observer is None:
+        return
+    if args.trace:
+        obs.write_trace(observer, args.trace,
+                        trace_format=args.trace_format,
+                        process_name=process_name)
+        print("wrote %s (%s)" % (args.trace, args.trace_format),
+              file=sys.stderr)
+    if args.metrics_out:
+        obs.write_metrics(observer, args.metrics_out)
+        print("wrote %s" % args.metrics_out, file=sys.stderr)
+    observer.close()
 
 
 def lisa_main(argv=None):
@@ -220,6 +271,12 @@ def sim_main(argv=None):
         "back to dynamic scheduling when a pipeline window is not "
         "proven hazard-free",
     )
+    _add_trace_flags(parser)
+    parser.add_argument(
+        "--stats-json", metavar="PATH",
+        help="write run statistics (cycles, instructions, CPI, wall "
+        "time, simulated cycles/s) as JSON to PATH",
+    )
     _add_werror(parser)
     args = parser.parse_args(argv)
     if args.verify_schedule and args.kind not in (
@@ -239,9 +296,10 @@ def sim_main(argv=None):
             from repro.simcc.cache import SimulationCache
 
             cache = SimulationCache(args.cache_dir)
+        observer = _make_observer(args, model, program)
         simulator = create_simulator(
             model, args.kind, cache=cache, jobs=args.jobs,
-            verify_schedule=args.verify_schedule,
+            verify_schedule=args.verify_schedule, observer=observer,
         )
         load_start = time.perf_counter()
         simulator.load_program(program)
@@ -266,8 +324,100 @@ def sim_main(argv=None):
                         "%s=%d" % item for item in cache.stats.items()
                     )
                 )
+        if args.stats_json:
+            payload = stats.to_dict()
+            payload["kind"] = simulator.kind
+            payload["load_seconds"] = load_time
+            with open(args.stats_json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print("wrote %s" % args.stats_json, file=sys.stderr)
+        _write_observer_outputs(observer, args, "repro-sim")
         for dump in args.dump:
             _dump_memory(simulator.state, dump)
+    except ReproError as exc:
+        parser.exit(1, "error: %s\n" % exc)
+    return 0
+
+
+def trace_main(argv=None):
+    """repro-trace: run a program fully instrumented; export the trace.
+
+    The default output is Chrome trace-event JSON: load it in Perfetto
+    (https://ui.perfetto.dev) or ``chrome://tracing`` to see the
+    simulation-compilation phase spans above the per-cycle event
+    stream.  ``--format summary`` writes the human-readable report
+    instead, and ``--print-summary`` additionally prints it to stdout.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Run a target program with full instrumentation "
+        "(trace events, compile-phase spans, metrics) and export the "
+        "trace.",
+    )
+    parser.add_argument("model", help="model name or .lisa path")
+    parser.add_argument("program", help="object file (.dspo) or assembly "
+                        "source (.asm/.s)")
+    parser.add_argument(
+        "-k", "--kind", default="compiled", choices=SIM_KINDS,
+        help="simulator kind (default: compiled)",
+    )
+    parser.add_argument(
+        "-o", "--output", default="trace.json", metavar="PATH",
+        help="trace file to write (default: trace.json)",
+    )
+    parser.add_argument(
+        "--max-cycles", type=int, default=50_000_000,
+        help="abort after this many cycles",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="also write the metrics snapshot as JSON to PATH",
+    )
+    parser.add_argument(
+        "--print-summary", action="store_true",
+        help="print the text summary to stdout after the run",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="parallelise simulation compilation over N workers "
+        "(-1 = one per CPU)",
+    )
+    _add_werror(parser)
+    # Reuse the shared writer: --format doubles as --trace-format.
+    from repro.obs import TRACE_FORMATS
+
+    parser.add_argument(
+        "--format", dest="trace_format", choices=TRACE_FORMATS,
+        default="chrome",
+        help="trace file format (default: chrome, for Perfetto)",
+    )
+    args = parser.parse_args(argv)
+    args.trace = args.output
+    try:
+        from repro import obs
+
+        model = _resolve_model(args.model)
+        _print_model_diagnostics(parser, model, args.werror)
+        program = _load_program(model, args.program)
+        observer = obs.Observer(
+            labeler=obs.opcode_labeler(model, program)
+        )
+        simulator = create_simulator(model, args.kind, jobs=args.jobs,
+                                     observer=observer)
+        simulator.load_program(program)
+        stats = simulator.run(args.max_cycles)
+        print(
+            "halted after %d cycles, %d instructions (CPI %.2f)"
+            % (stats.cycles, stats.instructions, stats.cpi)
+        )
+        print(
+            "recorded %d events, %d spans"
+            % (len(observer.events or ()), len(observer.spans))
+        )
+        if args.print_summary:
+            print(obs.text_summary(observer))
+        _write_observer_outputs(observer, args, "repro-trace")
     except ReproError as exc:
         parser.exit(1, "error: %s\n" % exc)
     return 0
@@ -350,6 +500,7 @@ def lint_main(argv=None):
         help="emit the full report (findings, counts, hazard verdicts) "
         "as JSON on stdout",
     )
+    _add_trace_flags(parser)
     _add_werror(parser)
     args = parser.parse_args(argv)
     try:
@@ -357,7 +508,9 @@ def lint_main(argv=None):
         program = _load_program(model, args.program)
         from repro.analysis import analyze_program
 
-        result = analyze_program(model, program)
+        observer = _make_observer(args, model, program)
+        result = analyze_program(model, program, observer=observer)
+        _write_observer_outputs(observer, args, "repro-lint")
     except ReproError as exc:
         parser.exit(2, "error: %s\n" % exc)
     report = result.report

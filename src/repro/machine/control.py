@@ -12,15 +12,23 @@ from repro.support.errors import SimulationError
 
 
 class PipelineControl:
-    """Collects control requests raised during one pipeline stage."""
+    """Collects control requests raised during one pipeline stage.
 
-    __slots__ = ("current_stage", "flush_below", "stall_cycles", "halted")
+    ``observer`` (a :class:`repro.obs.Observer`, or None) receives one
+    trace event per raised control request; it survives :meth:`reset`
+    so a reloaded program keeps its instrumentation.
+    """
+
+    __slots__ = (
+        "current_stage", "flush_below", "stall_cycles", "halted", "observer",
+    )
 
     def __init__(self):
         self.current_stage = 0
         self.flush_below = -1  # highest stage index requesting a flush
         self.stall_cycles = 0
         self.halted = False
+        self.observer = None
 
     def reset(self):
         self.current_stage = 0
@@ -38,6 +46,8 @@ class PipelineControl:
         branch) that the paper notes simple instruction sequencers, such
         as nML's, cannot express.
         """
+        if self.observer is not None:
+            self.observer.on_flush(self.current_stage)
         if self.current_stage > self.flush_below:
             self.flush_below = self.current_stage
 
@@ -45,6 +55,8 @@ class PipelineControl:
         """Freeze instruction fetch for ``cycles`` cycles (bubbles issue)."""
         if not isinstance(cycles, int) or cycles < 0:
             raise SimulationError("stall() needs a non-negative cycle count")
+        if self.observer is not None:
+            self.observer.on_stall(self.current_stage, cycles)
         self.stall_cycles += cycles
 
     def request_halt(self):
@@ -53,5 +65,7 @@ class PipelineControl:
         Instructions younger than the halting one are squashed, so code
         placed after a ``halt`` instruction never executes.
         """
+        if self.observer is not None:
+            self.observer.on_halt(self.current_stage)
         self.halted = True
         self.request_flush()

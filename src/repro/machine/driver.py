@@ -84,15 +84,24 @@ def trap_slot(model, message):
 
 
 class Pipeline:
-    """Drives issue slots through the model's pipeline stages."""
+    """Drives issue slots through the model's pipeline stages.
+
+    Observability: ``step`` is an instance attribute selected by
+    :meth:`set_observer` -- the unhooked :meth:`_step_plain` when no
+    observer is attached (bytecode-identical to the pre-instrumentation
+    hot loop, so the disabled path costs nothing) or
+    :meth:`_step_traced`, which additionally emits fetch/bubble/squash
+    trace events and updates the metrics registry.
+    """
 
     __slots__ = (
         "_model", "_state", "_control", "_frontend", "_pc_name",
         "_depth", "_watcher", "_read_pc", "_write_pc", "slots",
-        "cycles", "instructions_retired",
+        "cycles", "instructions_retired", "_observer", "step",
     )
 
-    def __init__(self, model, state, control, frontend, watcher=None):
+    def __init__(self, model, state, control, frontend, watcher=None,
+                 observer=None):
         self._model = model
         self._state = state
         self._control = control
@@ -107,6 +116,17 @@ class Pipeline:
         self.slots = [None] * self._depth
         self.cycles = 0
         self.instructions_retired = 0
+        self._observer = None
+        self.step = self._step_plain
+        if observer is not None:
+            self.set_observer(observer)
+
+    def set_observer(self, observer):
+        """Attach (or detach, with None) a :class:`repro.obs.Observer`."""
+        self._observer = observer
+        self.step = (
+            self._step_plain if observer is None else self._step_traced
+        )
 
     @property
     def state(self):
@@ -126,8 +146,9 @@ class Pipeline:
         self.instructions_retired = 0
         self._control.reset()
 
-    def step(self):
-        """Simulate one cycle."""
+    def _step_plain(self):
+        """Simulate one cycle (unhooked path; keep in sync with
+        :meth:`_step_traced`)."""
         control = self._control
         slots = self.slots
 
@@ -161,6 +182,57 @@ class Pipeline:
                 for fn in ops:
                     fn()
         control.flush_below = -1
+
+        self.cycles += 1
+        if self._watcher is not None:
+            self._watcher(self)
+
+    def _step_traced(self):
+        """One cycle with trace hooks (same semantics as
+        :meth:`_step_plain`, plus event emission)."""
+        control = self._control
+        slots = self.slots
+        observer = self._observer
+
+        # -- advance ------------------------------------------------------
+        retiring = slots.pop()
+        if retiring is not None:
+            self.instructions_retired += retiring.insn_count
+        if control.halted:
+            incoming = None
+            observer.on_bubble(self.cycles, "drain")
+        elif control.stall_cycles > 0:
+            control.stall_cycles -= 1
+            incoming = None
+            observer.on_bubble(self.cycles, "stall")
+        else:
+            pc = self._read_pc()
+            incoming = self._frontend(pc)
+            if incoming is not None:
+                self._write_pc(pc + incoming.words)
+                observer.on_issue(self.cycles, pc, incoming)
+            else:
+                observer.on_bubble(self.cycles, "frontend")
+        slots.insert(0, incoming)
+
+        # -- execute (oldest first) + same-cycle flush ---------------------
+        squashed = 0
+        for stage in range(self._depth - 1, -1, -1):
+            slot = slots[stage]
+            if slot is None:
+                continue
+            if stage < control.flush_below:
+                slots[stage] = None
+                squashed += 1
+                continue
+            ops = slot.ops_by_stage[stage]
+            if ops:
+                control.current_stage = stage
+                for fn in ops:
+                    fn()
+        control.flush_below = -1
+        if squashed:
+            observer.on_squash(self.cycles, squashed)
 
         self.cycles += 1
         if self._watcher is not None:

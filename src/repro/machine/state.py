@@ -20,6 +20,12 @@ class ProcessorState:
         self._register_defs = model.registers
         self._memory_defs = model.memories
         self._pc_name = model.pc_name
+        # Observability hook for the *checked* accessors below.  The
+        # generated/interpreted behaviour code writes resources directly
+        # (that is the whole point of the representation), so these
+        # events cover the tool surface: debuggers, co-simulation
+        # peripherals, tests and programmatic pokes.
+        self._obs = None
         self.reset()
 
     @property
@@ -83,6 +89,8 @@ class ProcessorState:
             if index is not None:
                 raise SimulationError("register %r is scalar" % name)
             setattr(self, name, value)
+        if self._obs is not None:
+            self._obs.on_reg_write(name, index, value)
 
     def read_memory(self, name, address):
         mem = self._memory_defs.get(name)
@@ -96,7 +104,10 @@ class ProcessorState:
         if mem is None:
             raise SimulationError("unknown memory %r" % name)
         self._check_index(name, address, mem.size)
-        getattr(self, name)[address] = mem.dtype.canonical(value)
+        value = mem.dtype.canonical(value)
+        getattr(self, name)[address] = value
+        if self._obs is not None:
+            self._obs.on_mem_write(name, address, value)
 
     def load_words(self, memory_name, base, words):
         """Bulk-load ``words`` into ``memory_name`` starting at ``base``."""

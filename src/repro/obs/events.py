@@ -1,0 +1,256 @@
+"""Structured trace events and the observer that collects them.
+
+The :class:`Observer` is the one object the rest of the system talks
+to.  Hook sites throughout the simulators, the simulation compiler and
+the cache hold a reference that is ``None`` when observability is off;
+the entire disabled cost is that one ``is not None`` check (the
+pipeline drivers go further and swap in an unhooked step function, so
+their steady-state loop carries no check at all).
+
+An observer owns
+
+* a list of recorded :class:`TraceEvent` objects (optional -- metrics-
+  only observers pass ``record=False``),
+* any number of pluggable sinks (:mod:`repro.obs.sinks`) that see every
+  event and span as it happens,
+* a :class:`repro.obs.metrics.MetricsRegistry` updated inline by the
+  hook helpers,
+* a span stack for nested phase timing (:mod:`repro.obs.spans`).
+
+Event timestamps are seconds on a monotonic clock, zeroed at observer
+creation; ``clock`` is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTimer
+
+# -- event kinds -------------------------------------------------------------
+
+FETCH = "fetch"              # an issue slot entered the pipeline
+BUBBLE = "bubble"            # a cycle issued nothing (stall/drain)
+SQUASH = "squash"            # in-flight slots squashed by a flush
+STALL = "stall"              # behaviour requested stall(n)
+FLUSH = "flush"              # behaviour requested flush()
+HALT = "halt"                # behaviour requested halt()
+FALLBACK = "sched.fallback"  # static window fell back to dynamic path
+HAZARD = "hazard.verdict"    # per-packet hazard verdict from analysis
+REG_WRITE = "reg.write"      # checked register write
+MEM_WRITE = "mem.write"      # checked memory write
+CACHE = "cache"              # simulation-table cache lookup/store
+RUN_END = "run.end"          # simulator run finished
+
+EVENT_KINDS = (
+    FETCH, BUBBLE, SQUASH, STALL, FLUSH, HALT,
+    FALLBACK, HAZARD, REG_WRITE, MEM_WRITE, CACHE, RUN_END,
+)
+
+
+class TraceEvent:
+    """One structured trace record: timestamp, kind, open payload."""
+
+    __slots__ = ("ts", "kind", "args")
+
+    def __init__(self, ts, kind, args):
+        self.ts = ts
+        self.kind = kind
+        self.args = args
+
+    def __repr__(self):
+        return "TraceEvent(%.6f, %r, %r)" % (self.ts, self.kind, self.args)
+
+    def to_dict(self):
+        payload = {"type": "event", "ts": self.ts, "kind": self.kind}
+        payload.update(self.args)
+        return payload
+
+
+def _window_text(pcs):
+    return "/".join("-" if pc is None else "0x%x" % pc for pc in pcs)
+
+
+class Observer:
+    """Collects trace events, spans and metrics for one (or more) runs.
+
+    ``labeler`` optionally maps a program address to a human-readable
+    label (typically the disassembly of the packet issued there); it is
+    consulted only at :meth:`finish_run` to fold per-address dispatch
+    counts into per-opcode counts -- never on the hot path.
+    """
+
+    def __init__(self, sinks=(), metrics=None, clock=None, labeler=None,
+                 record=True):
+        self._clock = clock if clock is not None else time.perf_counter
+        self._epoch = self._clock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.sinks = list(sinks)
+        self.events = [] if record else None
+        self.spans = []
+        self.labeler = labeler
+        self._span_stack = []
+
+    # -- clock ----------------------------------------------------------------
+
+    def now(self):
+        """Seconds since observer creation (monotonic)."""
+        return self._clock() - self._epoch
+
+    # -- raw emission ----------------------------------------------------------
+
+    def emit(self, kind, **args):
+        """Record one event and forward it to every sink."""
+        event = TraceEvent(self.now(), kind, args)
+        if self.events is not None:
+            self.events.append(event)
+        for sink in self.sinks:
+            sink.event(event)
+        return event
+
+    def events_of(self, *kinds):
+        """Recorded events filtered by kind, in emission order."""
+        if self.events is None:
+            return []
+        wanted = set(kinds)
+        return [event for event in self.events if event.kind in wanted]
+
+    # -- spans -----------------------------------------------------------------
+
+    def span(self, name, **args):
+        """Context manager timing one named phase (spans nest)."""
+        return SpanTimer(self, name, args)
+
+    def _finish_span(self, span):
+        self.spans.append(span)
+        self.metrics.observe("span.%s" % span.name, span.duration)
+        for sink in self.sinks:
+            sink.span(span)
+
+    def spans_of(self, name):
+        return [span for span in self.spans if span.name == name]
+
+    # -- pipeline hook helpers (hot path when enabled) ------------------------
+
+    def on_issue(self, cycle, pc, slot):
+        metrics = self.metrics
+        metrics.inc("sim.issue_cycles")
+        metrics.inc("sim.instructions_issued", slot.insn_count)
+        metrics.bump("sim.fetch_by_pc", pc)
+        metrics.bump("sim.packet_sizes", slot.insn_count)
+        metrics.observe("sim.packet_insns", slot.insn_count)
+        self.emit(
+            FETCH, cycle=cycle, pc=pc, words=slot.words,
+            insns=slot.insn_count, label=slot.label,
+        )
+
+    def on_bubble(self, cycle, reason):
+        metrics = self.metrics
+        metrics.inc("sim.bubble_cycles")
+        metrics.bump("sim.bubbles_by_reason", reason)
+        self.emit(BUBBLE, cycle=cycle, reason=reason)
+
+    def on_squash(self, cycle, slots):
+        self.metrics.inc("sim.squashed_slots", slots)
+        self.emit(SQUASH, cycle=cycle, slots=slots)
+
+    def on_static_cycle(self):
+        self.metrics.inc("sched.static_cycles")
+
+    def on_dynamic_cycle(self):
+        self.metrics.inc("sched.dynamic_cycles")
+
+    # -- control hooks ---------------------------------------------------------
+
+    def on_stall(self, stage, cycles):
+        self.metrics.inc("control.stalls")
+        self.emit(STALL, stage=stage, cycles=cycles)
+
+    def on_flush(self, stage):
+        self.metrics.inc("control.flushes")
+        self.emit(FLUSH, stage=stage)
+
+    def on_halt(self, stage):
+        self.metrics.inc("control.halts")
+        self.emit(HALT, stage=stage)
+
+    # -- state hooks -----------------------------------------------------------
+
+    def on_reg_write(self, name, index, value):
+        self.metrics.inc("state.reg_writes")
+        self.emit(REG_WRITE, register=name, index=index, value=value)
+
+    def on_mem_write(self, name, address, value):
+        self.metrics.inc("state.mem_writes")
+        self.emit(MEM_WRITE, memory=name, address=address, value=value)
+
+    # -- scheduler / analysis hooks -------------------------------------------
+
+    def on_fallback(self, pcs, pc, reason, verdict=None):
+        """A pipeline window could not be statically composed."""
+        self.metrics.inc("sched.fallback_windows")
+        self.metrics.bump("sched.fallbacks_by_reason", reason)
+        self.emit(
+            FALLBACK, window=_window_text(pcs), pc=pc, reason=reason,
+            verdict=verdict,
+        )
+
+    def on_hazard_verdict(self, pc, verdict):
+        self.metrics.bump("analysis.verdicts", verdict)
+        self.emit(HAZARD, pc=pc, verdict=verdict)
+
+    # -- cache hooks -----------------------------------------------------------
+
+    def on_cache(self, outcome, **args):
+        self.metrics.bump("cache.outcomes", outcome)
+        self.emit(CACHE, outcome=outcome, **args)
+
+    # -- run finalisation ------------------------------------------------------
+
+    def finish_run(self, simulator, stats):
+        """Snapshot run-level gauges; called by ``Simulator.run``."""
+        metrics = self.metrics
+        metrics.set_gauge("run.cycles", stats.cycles)
+        metrics.set_gauge("run.instructions", stats.instructions)
+        metrics.set_gauge("run.cpi", stats.cpi)
+        metrics.set_gauge("run.wall_seconds", stats.wall_seconds)
+        metrics.set_gauge(
+            "run.cycles_per_second", stats.simulated_cycles_per_second
+        )
+        metrics.set_gauge("run.kind", simulator.kind)
+        static = metrics.counter("sched.static_cycles")
+        dynamic = metrics.counter("sched.dynamic_cycles")
+        if static or dynamic:
+            metrics.set_gauge(
+                "sched.static_cycle_ratio", static / (static + dynamic)
+            )
+        outcomes = metrics.family("cache.outcomes")
+        hits = outcomes.get("memory_hit", 0) + outcomes.get("disk_hit", 0)
+        lookups = hits + outcomes.get("miss", 0)
+        if lookups:
+            metrics.set_gauge("cache.hit_rate", hits / lookups)
+        if self.labeler is not None:
+            self._fold_opcode_counts()
+        self.emit(
+            RUN_END, sim=simulator.kind, cycles=stats.cycles,
+            instructions=stats.instructions,
+        )
+
+    def _fold_opcode_counts(self):
+        """Fold per-address fetch counts into per-opcode dispatch counts."""
+        labeler = self.labeler
+        metrics = self.metrics
+        for pc, count in metrics.family("sim.fetch_by_pc").items():
+            label = labeler(pc)
+            if not label:
+                label = "<unknown>"
+            metrics.bump("sim.dispatch_by_opcode", label, count)
+
+    def snapshot(self):
+        """The metrics snapshot (JSON-compatible)."""
+        return self.metrics.snapshot()
+
+    def close(self):
+        for sink in self.sinks:
+            sink.close()

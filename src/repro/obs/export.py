@@ -1,0 +1,163 @@
+"""Trace exporters: JSON-lines, Chrome trace-event format, text summary.
+
+The Chrome trace-event output loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``: phase spans render
+as stacked slices on the "phases" track, per-cycle trace events as
+instants on the "simulation" track, and the run-level metrics ride
+along in ``otherData``.
+"""
+
+from __future__ import annotations
+
+import json
+
+TRACE_FORMATS = ("chrome", "jsonl", "summary")
+
+_PID = 1
+_TID_SIM = 0
+_TID_PHASES = 1
+
+
+def to_jsonl_lines(observer):
+    """Every event, span and the final metrics snapshot as JSON lines."""
+    lines = []
+    for event in observer.events or ():
+        lines.append(json.dumps(_jsonable(event.to_dict()), sort_keys=True))
+    for span in observer.spans:
+        payload = {"type": "span"}
+        payload.update(span.to_dict())
+        lines.append(json.dumps(_jsonable(payload), sort_keys=True))
+    metrics = {"type": "metrics"}
+    metrics.update(observer.snapshot())
+    lines.append(json.dumps(_jsonable(metrics), sort_keys=True))
+    return lines
+
+
+def to_chrome_trace(observer, process_name="repro-sim"):
+    """The observer's record as a Chrome trace-event JSON object."""
+    trace_events = [
+        {
+            "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+            "args": {"name": process_name},
+        },
+        {
+            "name": "thread_name", "ph": "M", "pid": _PID, "tid": _TID_SIM,
+            "args": {"name": "simulation"},
+        },
+        {
+            "name": "thread_name", "ph": "M", "pid": _PID,
+            "tid": _TID_PHASES, "args": {"name": "phases"},
+        },
+    ]
+    for span in observer.spans:
+        args = {"depth": span.depth}
+        if span.parent is not None:
+            args["parent"] = span.parent
+        args.update(span.args)
+        trace_events.append({
+            "name": span.name,
+            "cat": "phase",
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": _PID,
+            "tid": _TID_PHASES,
+            "args": args,
+        })
+    for event in observer.events or ():
+        trace_events.append({
+            "name": event.kind,
+            "cat": "sim",
+            "ph": "i",
+            "ts": event.ts * 1e6,
+            "s": "t",
+            "pid": _PID,
+            "tid": _TID_SIM,
+            "args": _jsonable(event.args),
+        })
+    trace_events.sort(key=lambda entry: entry.get("ts", 0.0))
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"metrics": _jsonable(observer.snapshot())},
+    }
+
+
+def _jsonable(value):
+    """Recursively coerce a payload into JSON-encodable values."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, float):
+        # NaN/Infinity are not valid JSON; strict parsers reject them.
+        return value if value == value and abs(value) != float("inf") else None
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    return str(value)
+
+
+def text_summary(observer, top=10):
+    """A human-readable run summary: spans, counters, hot addresses."""
+    metrics = observer.metrics
+    lines = []
+    if observer.spans:
+        lines.append("phases:")
+        for span in sorted(observer.spans, key=lambda s: s.start):
+            lines.append(
+                "  %s%-28s %8.3f ms"
+                % ("  " * span.depth, span.name, span.duration * 1e3)
+            )
+    if metrics.counters:
+        lines.append("counters:")
+        for name, value in sorted(metrics.counters.items()):
+            lines.append("  %-32s %d" % (name, value))
+    if metrics.gauges:
+        lines.append("gauges:")
+        for name, value in sorted(metrics.gauges.items()):
+            if isinstance(value, float):
+                lines.append("  %-32s %.6g" % (name, value))
+            else:
+                lines.append("  %-32s %s" % (name, value))
+    by_opcode = metrics.family("sim.dispatch_by_opcode")
+    if by_opcode:
+        lines.append("dispatch by opcode (top %d):" % top)
+        ranked = sorted(by_opcode.items(), key=lambda kv: (-kv[1], kv[0]))
+        for label, count in ranked[:top]:
+            lines.append("  %10d  %s" % (count, label))
+    by_pc = metrics.family("sim.fetch_by_pc")
+    if by_pc:
+        lines.append("hottest addresses (top %d):" % top)
+        ranked = sorted(by_pc.items(), key=lambda kv: (-kv[1], kv[0]))
+        for pc, count in ranked[:top]:
+            lines.append("  %10d  0x%06x" % (count, pc))
+    return "\n".join(lines)
+
+
+def write_trace(observer, path, trace_format="chrome",
+                process_name="repro-sim"):
+    """Write the observer's record to ``path`` in the chosen format."""
+    if trace_format not in TRACE_FORMATS:
+        raise ValueError(
+            "unknown trace format %r (expected one of %s)"
+            % (trace_format, ", ".join(TRACE_FORMATS))
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        if trace_format == "chrome":
+            json.dump(to_chrome_trace(observer, process_name), handle)
+            handle.write("\n")
+        elif trace_format == "jsonl":
+            for line in to_jsonl_lines(observer):
+                handle.write(line)
+                handle.write("\n")
+        else:
+            handle.write(text_summary(observer))
+            handle.write("\n")
+
+
+def write_metrics(observer, path):
+    """Write the metrics snapshot to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_jsonable(observer.snapshot()), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")

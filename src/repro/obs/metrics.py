@@ -1,0 +1,124 @@
+"""The metrics registry: counters, keyed counter families, gauges,
+histograms.
+
+One registry backs one :class:`repro.obs.Observer`.  The hot paths only
+ever touch plain dict operations (``inc``/``bump``), so an *enabled*
+run stays cheap; a *disabled* run never reaches this module at all (the
+hook sites check for an attached observer first).
+
+``snapshot()`` renders everything JSON-compatible: family keys become
+strings (ints as hex, matching program addresses), histograms become
+``{count, total, min, max}`` records.
+"""
+
+from __future__ import annotations
+
+
+def _key_text(key):
+    if isinstance(key, int):
+        return "0x%x" % key
+    return str(key)
+
+
+class Histogram:
+    """Streaming count/total/min/max summary of observed values."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else float("nan")
+
+    def to_dict(self):
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Counters, keyed counter families, gauges and histograms.
+
+    * ``inc(name, n)`` -- a plain counter (``sim.issue_cycles``).
+    * ``bump(family, key, n)`` -- one counter per key inside a family
+      (``sim.fetch_by_pc`` keyed by program address,
+      ``analysis.verdicts`` keyed by verdict name).
+    * ``set_gauge(name, value)`` -- last-write-wins scalar (CPI,
+      cycles/second, static-composition ratio).
+    * ``observe(name, value)`` -- histogram sample (execute-packet
+      sizes, span durations).
+    """
+
+    __slots__ = ("counters", "families", "gauges", "histograms")
+
+    def __init__(self):
+        self.counters = {}
+        self.families = {}
+        self.gauges = {}
+        self.histograms = {}
+
+    # -- writers (hot paths) ------------------------------------------------
+
+    def inc(self, name, amount=1):
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + amount
+
+    def bump(self, family, key, amount=1):
+        bucket = self.families.get(family)
+        if bucket is None:
+            bucket = self.families[family] = {}
+        bucket[key] = bucket.get(key, 0) + amount
+
+    def set_gauge(self, name, value):
+        self.gauges[name] = value
+
+    def observe(self, name, value):
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    # -- readers --------------------------------------------------------------
+
+    def counter(self, name, default=0):
+        return self.counters.get(name, default)
+
+    def family(self, name):
+        """The raw (unstringified) key -> count dict for one family."""
+        return self.families.get(name, {})
+
+    def snapshot(self):
+        """A JSON-compatible copy of every metric."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "families": {
+                family: {
+                    _key_text(key): count
+                    for key, count in sorted(
+                        bucket.items(), key=lambda kv: _key_text(kv[0])
+                    )
+                }
+                for family, bucket in sorted(self.families.items())
+            },
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }

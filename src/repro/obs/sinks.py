@@ -1,0 +1,94 @@
+"""Pluggable trace sinks.
+
+A sink receives every :class:`repro.obs.events.TraceEvent` and every
+finished :class:`repro.obs.spans.Span` the moment it is produced.  The
+observer fans out to any number of sinks; the *disabled* simulation
+path never constructs events at all (hook sites check for an attached
+observer first), so :class:`NullSink` exists for the half-way
+configuration -- hooks live and metrics counting on, event storage off.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class Sink:
+    """Base sink: ignores everything (usable directly as a null sink)."""
+
+    def event(self, event):  # pragma: no cover - trivial
+        pass
+
+    def span(self, span):  # pragma: no cover - trivial
+        pass
+
+    def close(self):  # pragma: no cover - trivial
+        pass
+
+
+#: Shared do-nothing sink instance.
+NULL_SINK = Sink()
+
+# The null sink under its spelled-out name.
+NullSink = Sink
+
+
+class ListSink(Sink):
+    """Collects events and spans in memory (tests, exporters)."""
+
+    def __init__(self):
+        self.events = []
+        self.spans = []
+
+    def event(self, event):
+        self.events.append(event)
+
+    def span(self, span):
+        self.spans.append(span)
+
+
+class CallbackSink(Sink):
+    """Routes events/spans to user callables (either may be None)."""
+
+    def __init__(self, on_event=None, on_span=None):
+        self._on_event = on_event
+        self._on_span = on_span
+
+    def event(self, event):
+        if self._on_event is not None:
+            self._on_event(event)
+
+    def span(self, span):
+        if self._on_span is not None:
+            self._on_span(span)
+
+
+class JsonLinesSink(Sink):
+    """Streams each event/span as one JSON object per line.
+
+    ``stream`` is any object with ``write``; the sink never closes a
+    stream it did not open.  Pass a path instead to let the sink own
+    the file.
+    """
+
+    def __init__(self, stream_or_path):
+        if hasattr(stream_or_path, "write"):
+            self._stream = stream_or_path
+            self._owned = False
+        else:
+            self._stream = open(stream_or_path, "w", encoding="utf-8")
+            self._owned = True
+
+    def event(self, event):
+        self._stream.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._stream.write("\n")
+
+    def span(self, span):
+        payload = {"type": "span"}
+        payload.update(span.to_dict())
+        self._stream.write(json.dumps(payload, sort_keys=True))
+        self._stream.write("\n")
+
+    def close(self):
+        if self._owned:
+            self._stream.close()

@@ -1,0 +1,87 @@
+"""Phase-timing spans.
+
+A span measures one named phase of work (simulation-table decoding,
+operation sequencing, instantiation, cache lookup/store, a whole
+program load).  Spans nest: the observer keeps a stack, every finished
+span records its depth and its parent's name, and the Chrome-trace
+exporter renders them as stacked "X" slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished phase: ``[start, end)`` seconds on the observer clock."""
+
+    name: str
+    start: float
+    end: float
+    depth: int
+    parent: Optional[str] = None
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+    def contains(self, other):
+        """Whether ``other`` nests (temporally) inside this span."""
+        return self.start <= other.start and other.end <= self.end
+
+    def to_dict(self):
+        payload = {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "depth": self.depth,
+        }
+        if self.parent is not None:
+            payload["parent"] = self.parent
+        if self.args:
+            payload["args"] = dict(self.args)
+        return payload
+
+
+class SpanTimer:
+    """Re-entrant-free context manager recording one span on exit.
+
+    Produced by :meth:`repro.obs.Observer.span`; not constructed
+    directly.
+    """
+
+    __slots__ = ("_observer", "name", "args", "_start", "_depth", "_parent")
+
+    def __init__(self, observer, name, args):
+        self._observer = observer
+        self.name = name
+        self.args = args
+
+    def __enter__(self):
+        observer = self._observer
+        stack = observer._span_stack
+        self._depth = len(stack)
+        self._parent = stack[-1] if stack else None
+        stack.append(self.name)
+        self._start = observer.now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        observer = self._observer
+        end = observer.now()
+        observer._span_stack.pop()
+        observer._finish_span(
+            Span(
+                name=self.name,
+                start=self._start,
+                end=end,
+                depth=self._depth,
+                parent=self._parent,
+                args=self.args,
+            )
+        )
+        return False

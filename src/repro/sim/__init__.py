@@ -38,7 +38,7 @@ SIM_KINDS = (
 
 
 def create_simulator(model, kind="compiled", cache=None, jobs=None,
-                     verify_schedule=False):
+                     verify_schedule=False, observer=None):
     """Instantiate a simulator of the given ``kind`` for ``model``.
 
     ``cache`` (a :class:`repro.simcc.cache.SimulationCache`) and
@@ -47,26 +47,31 @@ def create_simulator(model, kind="compiled", cache=None, jobs=None,
     do no load-time compilation and ignore them.  ``verify_schedule``
     (static kinds only) raises :class:`repro.support.errors.
     SimulationError` instead of falling back to dynamic scheduling when
-    a pipeline window is not proven hazard-free.
+    a pipeline window is not proven hazard-free.  ``observer`` (a
+    :class:`repro.obs.Observer`) enables trace events, phase spans and
+    metrics for this simulator; omitted, the process-wide observer
+    installed via :func:`repro.obs.install` applies.
     """
     if kind == "interpretive":
-        return InterpretiveSimulator(model)
+        return InterpretiveSimulator(model, observer=observer)
     if kind == "predecoded":
-        return PredecodedSimulator(model)
+        return PredecodedSimulator(model, observer=observer)
     if kind == "compiled":
         return CompiledSimulator(model, level="sequenced",
-                                 cache=cache, jobs=jobs)
+                                 cache=cache, jobs=jobs, observer=observer)
     if kind == "unfolded":
         return CompiledSimulator(model, level="instantiated",
-                                 cache=cache, jobs=jobs)
+                                 cache=cache, jobs=jobs, observer=observer)
     if kind == "static":
         return StaticScheduledSimulator(model, level="sequenced",
                                         cache=cache, jobs=jobs,
-                                        verify_schedule=verify_schedule)
+                                        verify_schedule=verify_schedule,
+                                        observer=observer)
     if kind == "unfolded_static":
         return StaticScheduledSimulator(model, level="instantiated",
                                         cache=cache, jobs=jobs,
-                                        verify_schedule=verify_schedule)
+                                        verify_schedule=verify_schedule,
+                                        observer=observer)
     raise ReproError(
         "unknown simulator kind %r (expected one of %s)"
         % (kind, ", ".join(SIM_KINDS))

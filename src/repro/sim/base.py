@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass
 
+from repro import obs as _obs
 from repro.machine.control import PipelineControl
 from repro.machine.state import ProcessorState
 from repro.support.errors import SimulationError
@@ -11,16 +14,47 @@ from repro.support.errors import SimulationError
 
 @dataclass(frozen=True)
 class SimulationStats:
-    """Summary of one simulation run."""
+    """Summary of one simulation run.
+
+    ``wall_seconds`` is the host wall-clock time accumulated inside
+    :meth:`Simulator.run` (load-time simulation compilation is *not*
+    included, matching the paper's split between its Figures 6 and 7).
+    """
 
     cycles: int
     instructions: int
+    wall_seconds: float = 0.0
 
     @property
     def cpi(self):
+        """Cycles per instruction; NaN for a run that retired nothing."""
         if self.instructions == 0:
-            return float("inf")
+            return float("nan")
         return self.cycles / self.instructions
+
+    @property
+    def simulated_cycles_per_second(self):
+        """Simulated cycles per host second (the paper's Figure 7 axis);
+        NaN when no wall time was recorded."""
+        if self.wall_seconds <= 0.0:
+            return float("nan")
+        return self.cycles / self.wall_seconds
+
+    def to_dict(self):
+        """JSON-compatible rendering (NaN becomes None)."""
+
+        def _finite(value):
+            return value if math.isfinite(value) else None
+
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "wall_seconds": self.wall_seconds,
+            "cpi": _finite(self.cpi),
+            "simulated_cycles_per_second": _finite(
+                self.simulated_cycles_per_second
+            ),
+        }
 
 
 class Simulator:
@@ -30,16 +64,45 @@ class Simulator:
     ``step()``, ``run(max_cycles)``, ``cycles``, ``instructions_retired``
     and ``drained`` (either :class:`repro.machine.Pipeline` or the static
     driver).
+
+    ``observer`` (a :class:`repro.obs.Observer`) wires the simulator
+    into the observability layer: the engines emit per-cycle trace
+    events, pipeline control emits stall/flush/halt events, load-time
+    simulation compilation records phase spans, and :meth:`run`
+    snapshots run-level metrics.  When omitted, the process-wide
+    observer installed via :func:`repro.obs.install` applies; with
+    neither, every hook site short-circuits on a ``None`` check and the
+    pipeline drivers run their unhooked step functions.
     """
 
     kind = "abstract"
 
-    def __init__(self, model):
+    def __init__(self, model, observer=None):
         self.model = model
         self.state = ProcessorState(model)
         self.control = PipelineControl()
         self.program = None
         self._engine = None
+        self._wall_seconds = 0.0
+        self.observer = (
+            observer if observer is not None else _obs.get_observer()
+        )
+        self._wire_observer()
+
+    # -- observability ---------------------------------------------------------
+
+    def _wire_observer(self):
+        self.state._obs = self.observer
+        self.control.observer = self.observer
+
+    def attach_observer(self, observer):
+        """Attach (or detach, with None) an observer; may be called
+        before or after :meth:`load_program`."""
+        self.observer = observer
+        self._wire_observer()
+        if self._engine is not None:
+            self._engine.set_observer(observer)
+        return observer
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -47,14 +110,24 @@ class Simulator:
         """Load ``program`` and prepare the simulation engine.
 
         For compiled simulators this is where simulation compilation
-        happens (decode, sequencing, instantiation); time it to measure
-        the paper's "compilation speed" (its Figure 6).
+        happens (decode, sequencing, instantiation); the ``sim.load``
+        span (with the compile-phase spans nested inside) makes the
+        paper's "compilation speed" (its Figure 6) a built-in
+        measurement.
         """
-        self.state.reset()
-        self.control.reset()
-        program.load_into(self.state)
-        self.program = program
-        self._engine = self._build_engine(program)
+        observer = self.observer
+        with _obs.span(
+            observer, "sim.load", kind=self.kind,
+            program=getattr(program, "name", None),
+        ):
+            self.state.reset()
+            self.control.reset()
+            program.load_into(self.state)
+            self.program = program
+            self._engine = self._build_engine(program)
+            if observer is not None:
+                self._engine.set_observer(observer)
+        self._wall_seconds = 0.0
         return self
 
     def reset(self):
@@ -80,8 +153,15 @@ class Simulator:
 
     def run(self, max_cycles=50_000_000):
         """Run to completion; returns :class:`SimulationStats`."""
-        self.engine.run(max_cycles)
-        return self.stats
+        start = time.perf_counter()
+        try:
+            self.engine.run(max_cycles)
+        finally:
+            self._wall_seconds += time.perf_counter() - start
+        stats = self.stats
+        if self.observer is not None:
+            self.observer.finish_run(self, stats)
+        return stats
 
     def run_until(self, predicate, max_cycles=50_000_000):
         """Step until ``predicate(self)`` is true or the program halts.
@@ -121,6 +201,7 @@ class Simulator:
         return SimulationStats(
             cycles=self.engine.cycles,
             instructions=self.engine.instructions_retired,
+            wall_seconds=self._wall_seconds,
         )
 
     @property

@@ -26,8 +26,9 @@ class CompiledSimulator(Simulator):
     compile out over a worker pool (see :mod:`repro.simcc.parallel`).
     """
 
-    def __init__(self, model, level="sequenced", cache=None, jobs=None):
-        super().__init__(model)
+    def __init__(self, model, level="sequenced", cache=None, jobs=None,
+                 observer=None):
+        super().__init__(model, observer=observer)
         self._level = level
         self._simcc = generate_simulation_compiler(model, validate=False)
         self._cache = cache
@@ -52,11 +53,12 @@ class CompiledSimulator(Simulator):
             self.table = self._cache.load_table(
                 self._simcc, program, self.state, self.control,
                 level=self._level, jobs=self._jobs,
+                observer=self.observer,
             )
         else:
             self.table = self._simcc.compile(
                 program, self.state, self.control, level=self._level,
-                jobs=self._jobs,
+                jobs=self._jobs, observer=self.observer,
             )
         return Pipeline(
             self.model, self.state, self.control,

@@ -24,8 +24,8 @@ from repro.support.errors import DecodeError
 class InterpretiveSimulator(Simulator):
     kind = "interpretive"
 
-    def __init__(self, model):
-        super().__init__(model)
+    def __init__(self, model, observer=None):
+        super().__init__(model, observer=observer)
         self._decoder = InstructionDecoder(model)
         self._depth = model.pipeline.depth
         self._pmem_name = model.config.program_memory

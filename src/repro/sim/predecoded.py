@@ -22,8 +22,8 @@ from repro.machine.packets import packet_extent
 class PredecodedSimulator(Simulator):
     kind = "predecoded"
 
-    def __init__(self, model):
-        super().__init__(model)
+    def __init__(self, model, observer=None):
+        super().__init__(model, observer=observer)
         self._decoder = InstructionDecoder(model)
         self._depth = model.pipeline.depth
         self._pmem_name = model.config.program_memory

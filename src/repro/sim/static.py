@@ -66,10 +66,11 @@ class StaticPipeline:
         "_column_compiler", "_pc_name", "_depth", "_read_pc",
         "_write_pc", "_interned", "_root", "_node", "cycles",
         "instructions_retired", "_safety", "_verify_schedule",
+        "_observer", "step",
     )
 
     def __init__(self, model, state, control, table, column_compiler=None,
-                 verify_schedule=False):
+                 verify_schedule=False, observer=None):
         self._model = model
         self._state = state
         self._control = control
@@ -84,11 +85,22 @@ class StaticPipeline:
         # and the register name never changes after construction.
         self._read_pc = partial(getattr, state, self._pc_name)
         self._write_pc = partial(setattr, state, self._pc_name)
+        self._observer = None
+        self.step = self._step_plain
         self._interned = {}
         self._root = self._intern((None,) * self._depth, (None,) * self._depth)
         self._node = self._root
         self.cycles = 0
         self.instructions_retired = 0
+        if observer is not None:
+            self.set_observer(observer)
+
+    def set_observer(self, observer):
+        """Attach (or detach, with None) a :class:`repro.obs.Observer`."""
+        self._observer = observer
+        self.step = (
+            self._step_plain if observer is None else self._step_traced
+        )
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -140,14 +152,22 @@ class StaticPipeline:
         """Statically schedule one occupancy, or None if it contains
         control-capable (or unknown/trap) instructions, or instructions
         the hazard analysis could not prove safe to reorder."""
+        observer = self._observer
         has_control = self._table.has_control
         for pc in pcs:
             if pc is not None and has_control.get(pc, True):
+                if observer is not None:
+                    observer.on_fallback(pcs, pc, "control")
                 return None
         safety = self._safety
         if safety is not None:
             for pc in pcs:
                 if pc is not None and safety.get(pc) != "hazard_free":
+                    if observer is not None:
+                        observer.on_fallback(
+                            pcs, pc, "hazard",
+                            verdict=safety.get(pc, "unknown"),
+                        )
                     if self._verify_schedule:
                         raise SimulationError(
                             "schedule verification failed: window %s "
@@ -175,7 +195,9 @@ class StaticPipeline:
 
     # -- execution ----------------------------------------------------------------
 
-    def step(self):
+    def _step_plain(self):
+        """One cycle (unhooked path; keep in sync with
+        :meth:`_step_traced`)."""
         control = self._control
         node = self._node
 
@@ -201,6 +223,53 @@ class StaticPipeline:
                 fn()
         else:
             next_node = self._execute_dynamic(next_node, control)
+        self._node = next_node
+        self.cycles += 1
+
+    def _step_traced(self):
+        """One cycle with trace hooks (same semantics as
+        :meth:`_step_plain`); counts static vs dynamic cycles and emits
+        fetch/bubble/squash events so the metrics agree with the
+        per-fetch simulator kinds even across cached transitions."""
+        control = self._control
+        node = self._node
+        observer = self._observer
+
+        # -- advance ------------------------------------------------------
+        self.instructions_retired += node.retire_insns
+        if control.halted:
+            next_node = self._advance_node(node, None, None)
+            observer.on_bubble(self.cycles, "drain")
+        elif control.stall_cycles > 0:
+            control.stall_cycles -= 1
+            next_node = self._advance_node(node, None, None)
+            observer.on_bubble(self.cycles, "stall")
+        else:
+            pc = self._read_pc()
+            next_node = node.next.get(pc)
+            if next_node is None:
+                slot = self._frontend(pc)
+                next_node = self._advance_node(node, pc, slot)
+            self._write_pc(pc + next_node.slots[0].words)
+            observer.on_issue(self.cycles, pc, next_node.slots[0])
+
+        # -- execute ---------------------------------------------------------
+        column = next_node.column
+        if column is not None:
+            observer.on_static_cycle()
+            for fn in column:
+                fn()
+        else:
+            observer.on_dynamic_cycle()
+            entered = next_node
+            next_node = self._execute_dynamic(next_node, control)
+            if next_node is not entered:
+                squashed = sum(
+                    1 for before, after in zip(entered.pcs, next_node.pcs)
+                    if before is not None and after is None
+                )
+                if squashed:
+                    observer.on_squash(self.cycles, squashed)
         self._node = next_node
         self.cycles += 1
 
@@ -255,8 +324,8 @@ class StaticScheduledSimulator(Simulator):
     """
 
     def __init__(self, model, level="sequenced", cache=None, jobs=None,
-                 verify_schedule=False):
-        super().__init__(model)
+                 verify_schedule=False, observer=None):
+        super().__init__(model, observer=observer)
         self._level = level
         self._simcc = generate_simulation_compiler(model, validate=False)
         self._cache = cache
@@ -280,11 +349,12 @@ class StaticScheduledSimulator(Simulator):
             self.table = self._cache.load_table(
                 self._simcc, program, self.state, self.control,
                 level=self._level, jobs=self._jobs,
+                observer=self.observer,
             )
         else:
             self.table = self._simcc.compile(
                 program, self.state, self.control, level=self._level,
-                jobs=self._jobs,
+                jobs=self._jobs, observer=self.observer,
             )
         column_compiler = None
         if self._level == "instantiated":

@@ -140,20 +140,35 @@ class SimulationCache:
     # -- high-level entry point ---------------------------------------------
 
     def load_table(self, compiler, program, state, control,
-                   level="sequenced", jobs=None):
+                   level="sequenced", jobs=None, observer=None):
         """Get-or-compile a simulation table bound to ``state``/``control``.
 
         On a hit the simulation compiler never runs: the portable table
         is rehydrated from memory or disk and bound.  On a miss the
         program is compiled (``jobs`` fans the work out), stored, and
-        bound.
+        bound.  ``observer`` records lookup/store/bind spans and one
+        ``cache`` event per outcome.
         """
-        portable = self.load_portable(compiler.model, program, level)
+        from repro import obs as _obs
+
+        before = dict(self.stats)
+        with _obs.span(observer, "cache.lookup", level=level):
+            portable = self.load_portable(compiler.model, program, level)
+        if observer is not None:
+            for stat, outcome in (("memory_hits", "memory_hit"),
+                                  ("disk_hits", "disk_hit"),
+                                  ("misses", "miss")):
+                if self.stats[stat] > before[stat]:
+                    observer.on_cache(outcome, level=level)
         if portable is None:
             portable = compiler.compile_portable(program, level=level,
-                                                 jobs=jobs)
-            self.store_portable(compiler.model, program, level, portable)
-        return portable.bind(state, control)
+                                                 jobs=jobs, observer=observer)
+            with _obs.span(observer, "cache.store", level=level):
+                self.store_portable(compiler.model, program, level, portable)
+            if observer is not None:
+                observer.on_cache("store", level=level)
+        with _obs.span(observer, "cache.bind", level=level):
+            return portable.bind(state, control)
 
     # -- portable-table access ----------------------------------------------
 

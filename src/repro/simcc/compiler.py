@@ -107,7 +107,8 @@ class SimulationCompiler:
     def model(self):
         return self._model
 
-    def compile(self, program, state, control, level="sequenced", jobs=None):
+    def compile(self, program, state, control, level="sequenced", jobs=None,
+                observer=None):
         """Compile ``program`` into a :class:`SimulationTable`.
 
         The produced micro-operations are bound to ``state`` and
@@ -119,12 +120,20 @@ class SimulationCompiler:
         out over a thread pool (see :mod:`repro.simcc.parallel`); the
         merge is by program order, so the produced table is identical to
         a serial compile.
+
+        ``observer`` records one phase-timing span per simulation-
+        compilation step (decoding, sequencing/instantiation, packet
+        formation, hazard analysis) plus a ``hazard.verdict`` trace
+        event per analysed packet -- the paper's Figure 6 measurement
+        as a built-in.
         """
         if level not in LEVELS:
             raise ReproError(
                 "unknown simulation level %r (expected one of %s)"
                 % (level, ", ".join(LEVELS))
             )
+        from repro import obs as _obs
+
         model = self._model
         pmem_name = model.config.program_memory
         segments = program.segments_in(pmem_name)
@@ -138,72 +147,92 @@ class SimulationCompiler:
         instruction_count = 0
         word_count = 0
 
-        for segment in segments:
-            words = segment.words
-            word_count += len(words)
-            base = segment.base
-            limit = base + len(words)
+        with _obs.span(observer, "simcc.compile", level=level):
+            for segment in segments:
+                words = segment.words
+                word_count += len(words)
+                base = segment.base
+                limit = base + len(words)
 
-            def read_word(address, _words=words, _base=base):
-                return _words[address - _base]
+                def read_word(address, _words=words, _base=base):
+                    return _words[address - _base]
 
-            # Step 1+2+3: decode and schedule every word once.  The
-            # per-word results are independent, so this phase fans out.
-            def decode_word(task):
-                pc, word = task
-                node = self._decoder.decode(word, address=pc)
-                return self._stage_split(build_schedule(node, model))
+                # Step 1+2+3: decode and schedule every word once.  The
+                # per-word results are independent, so this phase fans out.
+                def decode_word(task):
+                    pc, word = task
+                    node = self._decoder.decode(word, address=pc)
+                    return self._stage_split(build_schedule(node, model))
 
-            tasks = [
-                (base + offset, word) for offset, word in enumerate(words)
-            ]
-            staged = parallel.map_tasks(decode_word, tasks, jobs=jobs)
-            per_pc = {task[0]: stages for task, stages in zip(tasks, staged)}
-            instruction_count += len(tasks)
-
-            # Step 5 (level "instantiated"): specialise behaviours now.
-            if level == "instantiated":
-                bound = {
-                    pc: self._instantiate(pc, stages, codegen, state, control)
-                    for pc, stages in per_pc.items()
+                tasks = [
+                    (base + offset, word) for offset, word in enumerate(words)
+                ]
+                with _obs.span(observer, "simcc.decode", words=len(tasks)):
+                    staged = parallel.map_tasks(decode_word, tasks, jobs=jobs)
+                per_pc = {
+                    task[0]: stages for task, stages in zip(tasks, staged)
                 }
-            else:
-                bound = {
-                    pc: self._sequence(stages, ctx)
-                    for pc, stages in per_pc.items()
-                }
+                instruction_count += len(tasks)
 
-            # Step 4: form execute packets for every possible entry pc.
-            for pc in range(base, limit):
-                extent = packet_extent(model, read_word, pc, limit)
-                members = range(pc, pc + extent)
-                ops_by_stage = tuple(
-                    tuple(
-                        itertools.chain.from_iterable(
-                            bound[member][stage] for member in members
-                        )
-                    )
-                    for stage in range(self._depth)
-                )
-                slots[pc] = IssueSlot(
-                    ops_by_stage=ops_by_stage,
-                    words=extent,
-                    insn_count=extent,
-                )
-                has_control[pc] = any(
-                    self._stages_have_control(per_pc[member], ctx)
-                    for member in members
-                )
-                items_by_stage[pc] = tuple(
-                    tuple(
-                        itertools.chain.from_iterable(
-                            per_pc[member][stage] for member in members
-                        )
-                    )
-                    for stage in range(self._depth)
-                )
+                # Step 5 (level "instantiated"): specialise behaviours now.
+                if level == "instantiated":
+                    with _obs.span(observer, "simcc.instantiate",
+                                   words=len(per_pc)):
+                        bound = {
+                            pc: self._instantiate(
+                                pc, stages, codegen, state, control
+                            )
+                            for pc, stages in per_pc.items()
+                        }
+                else:
+                    with _obs.span(observer, "simcc.sequence",
+                                   words=len(per_pc)):
+                        bound = {
+                            pc: self._sequence(stages, ctx)
+                            for pc, stages in per_pc.items()
+                        }
 
-        from repro.analysis import schedule_safety
+                # Step 4: form execute packets for every possible entry pc.
+                with _obs.span(observer, "simcc.packetize",
+                               words=limit - base):
+                    for pc in range(base, limit):
+                        extent = packet_extent(model, read_word, pc, limit)
+                        members = range(pc, pc + extent)
+                        ops_by_stage = tuple(
+                            tuple(
+                                itertools.chain.from_iterable(
+                                    bound[member][stage]
+                                    for member in members
+                                )
+                            )
+                            for stage in range(self._depth)
+                        )
+                        slots[pc] = IssueSlot(
+                            ops_by_stage=ops_by_stage,
+                            words=extent,
+                            insn_count=extent,
+                        )
+                        has_control[pc] = any(
+                            self._stages_have_control(per_pc[member], ctx)
+                            for member in members
+                        )
+                        items_by_stage[pc] = tuple(
+                            tuple(
+                                itertools.chain.from_iterable(
+                                    per_pc[member][stage]
+                                    for member in members
+                                )
+                            )
+                            for stage in range(self._depth)
+                        )
+
+            from repro.analysis import schedule_safety
+
+            with _obs.span(observer, "simcc.analyze"):
+                safety = schedule_safety(model, program)
+            if observer is not None and safety:
+                for pc, verdict in sorted(safety.items()):
+                    observer.on_hazard_verdict(pc, verdict)
 
         return SimulationTable(
             level=level,
@@ -212,10 +241,11 @@ class SimulationCompiler:
             items_by_stage=items_by_stage,
             instruction_count=instruction_count,
             word_count=word_count,
-            schedule_safety=schedule_safety(model, program),
+            schedule_safety=safety,
         )
 
-    def compile_portable(self, program, level="sequenced", jobs=None):
+    def compile_portable(self, program, level="sequenced", jobs=None,
+                         observer=None):
         """Compile ``program`` into a state-independent
         :class:`repro.simcc.portable.PortableTable`.
 
@@ -226,7 +256,8 @@ class SimulationCompiler:
         """
         from repro.simcc.portable import build_portable_table
 
-        return build_portable_table(self._model, program, level, jobs=jobs)
+        return build_portable_table(self._model, program, level, jobs=jobs,
+                                    observer=observer)
 
     # -- helpers -------------------------------------------------------------
 

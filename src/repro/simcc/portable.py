@@ -264,14 +264,17 @@ def _process_word_task(task):
     return _word_sources(model, decoder, depth, pc, word)
 
 
-def build_portable_table(model, program, level="sequenced", jobs=None):
+def build_portable_table(model, program, level="sequenced", jobs=None,
+                         observer=None):
     """Run full simulation compilation into a :class:`PortableTable`.
 
     With ``jobs`` > 1 the per-word decode / variant-resolve / schedule /
     codegen fan-out runs on a process pool (falling back to threads,
     then serial); the merge is by program order, so the result is
-    bit-identical to a serial build.
+    bit-identical to a serial build.  ``observer`` records one
+    phase-timing span per compilation step.
     """
+    from repro import obs as _obs
     from repro.simcc.compiler import LEVELS
     from repro.support.errors import ReproError
 
@@ -290,52 +293,62 @@ def build_portable_table(model, program, level="sequenced", jobs=None):
         for offset, word in enumerate(segment.words):
             tasks.append((base + offset, word))
 
-    if parallel.effective_jobs(jobs, len(tasks)) > 1:
-        results = parallel.map_tasks(
-            _process_word_task, tasks, jobs=jobs, processes=True, model=model
-        )
-    else:
-        decoder = InstructionDecoder(model)
-        results = [
-            _word_sources(model, decoder, depth, pc, word)
-            for pc, word in tasks
-        ]
-
-    names_by_pc = {}
-    control_by_pc = {}
-    functions = []
-    for (pc, _), (names, sources, control) in zip(tasks, results):
-        names_by_pc[pc] = names
-        control_by_pc[pc] = control
-        functions.extend(sources)
-
-    table_spec = {}
-    has_control = {}
-    for segment in segments:
-        words = segment.words
-        base = segment.base
-        limit = base + len(words)
-
-        def read_word(address, _words=words, _base=base):
-            return _words[address - _base]
-
-        for pc in range(base, limit):
-            extent = packet_extent(model, read_word, pc, limit)
-            members = range(pc, pc + extent)
-            per_stage = tuple(
-                tuple(
-                    names_by_pc[member][stage]
-                    for member in members
-                    if names_by_pc[member][stage] is not None
+    with _obs.span(observer, "simcc.compile", level=level, portable=True):
+        with _obs.span(observer, "simcc.decode", words=len(tasks)):
+            if parallel.effective_jobs(jobs, len(tasks)) > 1:
+                results = parallel.map_tasks(
+                    _process_word_task, tasks, jobs=jobs, processes=True,
+                    model=model,
                 )
-                for stage in range(depth)
-            )
-            table_spec[pc] = (per_stage, extent, extent)
-            has_control[pc] = any(
-                control_by_pc[member] for member in members
-            )
+            else:
+                decoder = InstructionDecoder(model)
+                results = [
+                    _word_sources(model, decoder, depth, pc, word)
+                    for pc, word in tasks
+                ]
 
-    from repro.analysis import schedule_safety
+        names_by_pc = {}
+        control_by_pc = {}
+        functions = []
+        for (pc, _), (names, sources, control) in zip(tasks, results):
+            names_by_pc[pc] = names
+            control_by_pc[pc] = control
+            functions.extend(sources)
+
+        table_spec = {}
+        has_control = {}
+        with _obs.span(observer, "simcc.packetize", words=len(tasks)):
+            for segment in segments:
+                words = segment.words
+                base = segment.base
+                limit = base + len(words)
+
+                def read_word(address, _words=words, _base=base):
+                    return _words[address - _base]
+
+                for pc in range(base, limit):
+                    extent = packet_extent(model, read_word, pc, limit)
+                    members = range(pc, pc + extent)
+                    per_stage = tuple(
+                        tuple(
+                            names_by_pc[member][stage]
+                            for member in members
+                            if names_by_pc[member][stage] is not None
+                        )
+                        for stage in range(depth)
+                    )
+                    table_spec[pc] = (per_stage, extent, extent)
+                    has_control[pc] = any(
+                        control_by_pc[member] for member in members
+                    )
+
+        from repro.analysis import schedule_safety
+
+        with _obs.span(observer, "simcc.analyze"):
+            safety = schedule_safety(model, program)
+        if observer is not None and safety:
+            for pc, verdict in sorted(safety.items()):
+                observer.on_hazard_verdict(pc, verdict)
 
     return PortableTable(
         level=level,
@@ -346,5 +359,5 @@ def build_portable_table(model, program, level="sequenced", jobs=None):
         has_control=has_control,
         instruction_count=len(tasks),
         word_count=len(tasks),
-        schedule_safety=schedule_safety(model, program),
+        schedule_safety=safety,
     )

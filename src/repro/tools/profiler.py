@@ -1,13 +1,17 @@
-"""Program profiler built on the simulator front-end hook.
+"""Program profiler built on the observability hooks.
 
 One more member of the generated tool suite: per-address fetch counts,
-execute-packet statistics and a source-annotated hot-spot listing --
-the kind of feedback loop (simulate, profile, re-schedule) that DSP
-software development lives on.
+execute-packet statistics, bubble-cycle attribution and a
+source-annotated hot-spot listing -- the kind of feedback loop
+(simulate, profile, re-schedule) that DSP software development lives on.
 
-Works with every simulator kind by wrapping its front-end, so profiling
-a compiled simulation measures the same cycle stream as the
-interpretive one.
+The profiler is a thin consumer of :mod:`repro.obs`: it attaches a
+metrics-only :class:`repro.obs.Observer` (``record=False``, so no event
+list grows during the run) and reads the registry afterwards.  Because
+the statically scheduled engines emit the same per-cycle hooks as the
+per-fetch kinds, profiling now works on *every* simulator kind --
+including ``static`` and ``unfolded_static``, which the old front-end
+wrapper could not see into.
 """
 
 from __future__ import annotations
@@ -15,17 +19,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.support.errors import SimulationError
-
 
 @dataclass
 class ProfileReport:
-    """Per-address fetch statistics for one run."""
+    """Per-address fetch statistics for one run.
+
+    ``bubbles_by_reason`` attributes every non-issuing cycle to why it
+    issued nothing: ``"stall"`` (a behaviour requested stall cycles),
+    ``"drain"`` (the pipeline emptying after halt) or ``"frontend"``
+    (no slot at the fetch address).  ``packet_sizes`` summarises the
+    execute-packet-level statistics as a ``{size: packets}`` histogram.
+    """
 
     fetch_counts: Dict[int, int] = field(default_factory=dict)
     issue_cycles: int = 0
     bubble_cycles: int = 0
     total_cycles: int = 0
+    instructions_issued: int = 0
+    squashed_slots: int = 0
+    bubbles_by_reason: Dict[str, int] = field(default_factory=dict)
+    packet_sizes: Dict[int, int] = field(default_factory=dict)
 
     @property
     def hottest(self):
@@ -33,6 +46,13 @@ class ProfileReport:
         return sorted(
             self.fetch_counts.items(), key=lambda kv: (-kv[1], kv[0])
         )
+
+    @property
+    def mean_packet_size(self):
+        """Mean instructions per issued execute packet (NaN if none)."""
+        if not self.issue_cycles:
+            return float("nan")
+        return self.instructions_issued / self.issue_cycles
 
     def annotate(self, disassembler, program, limit=None):
         """Hot-spot listing lines: count, address, disassembly."""
@@ -50,7 +70,7 @@ class ProfileReport:
 
 
 class Profiler:
-    """Wraps a simulator to collect fetch statistics.
+    """Attaches a metrics-only observer to a simulator.
 
     Usage::
 
@@ -59,34 +79,49 @@ class Profiler:
         profiler = Profiler(sim)
         sim.run()
         report = profiler.report()
+
+    Works with every simulator kind.  Attaching replaces any observer
+    already on the simulator; to profile *and* trace, pass one
+    full-recording :class:`repro.obs.Observer` to the simulator
+    yourself and build the report with :meth:`report_from`.
     """
 
     def __init__(self, simulator):
-        engine = simulator.engine
-        if hasattr(engine, "_interned"):
-            # Statically scheduled engines bypass the front-end on
-            # cached transitions, so per-fetch counting cannot see every
-            # issue there.
-            raise SimulationError(
-                "profiling needs a per-fetch front-end; use simulator "
-                "kind interpretive, predecoded, compiled or unfolded"
-            )
-        self._report = ProfileReport()
-        self._engine = engine
-        original = engine._frontend
+        from repro.obs import Observer
 
-        def counting_frontend(pc, _original=original,
-                              _counts=self._report.fetch_counts):
-            slot = _original(pc)
-            if slot is not None:
-                _counts[pc] = _counts.get(pc, 0) + 1
-            return slot
+        self._simulator = simulator
+        self._observer = Observer(record=False)
+        simulator.attach_observer(self._observer)
 
-        engine._frontend = counting_frontend
+    @property
+    def observer(self):
+        return self._observer
 
     def report(self):
-        report = self._report
-        report.total_cycles = self._engine.cycles
-        report.issue_cycles = sum(report.fetch_counts.values())
-        report.bubble_cycles = report.total_cycles - report.issue_cycles
-        return report
+        return self.report_from(self._observer, self._simulator)
+
+    @staticmethod
+    def report_from(observer, simulator=None):
+        """Build a :class:`ProfileReport` from any observer's metrics.
+
+        ``total_cycles`` comes from the engine when ``simulator`` is
+        given (matching ``simulator.cycles`` exactly), otherwise from
+        the issue/bubble counters.
+        """
+        metrics = observer.metrics
+        issue = metrics.counter("sim.issue_cycles")
+        bubble = metrics.counter("sim.bubble_cycles")
+        if simulator is not None and simulator.program is not None:
+            total = simulator.engine.cycles
+        else:
+            total = issue + bubble
+        return ProfileReport(
+            fetch_counts=dict(metrics.family("sim.fetch_by_pc")),
+            issue_cycles=issue,
+            bubble_cycles=bubble,
+            total_cycles=total,
+            instructions_issued=metrics.counter("sim.instructions_issued"),
+            squashed_slots=metrics.counter("sim.squashed_slots"),
+            bubbles_by_reason=dict(metrics.family("sim.bubbles_by_reason")),
+            packet_sizes=dict(metrics.family("sim.packet_sizes")),
+        )

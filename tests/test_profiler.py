@@ -1,9 +1,10 @@
 """Tests for the simulator-based profiler."""
 
+import math
+
 import pytest
 
 from repro.sim import create_simulator
-from repro.support.errors import SimulationError
 from repro.tools.profiler import Profiler
 
 
@@ -70,13 +71,6 @@ class TestProfiler:
         assert plain.state.differences(profiled_sim.state) == []
         assert plain.cycles == profiled_sim.cycles
 
-    def test_static_kinds_rejected(self, testmodel, testmodel_tools):
-        program = testmodel_tools.assembler.assemble_text(SOURCE)
-        simulator = create_simulator(testmodel, "static")
-        simulator.load_program(program)
-        with pytest.raises(SimulationError):
-            Profiler(simulator)
-
     def test_works_on_interpretive(self, testmodel, testmodel_tools):
         program = testmodel_tools.assembler.assemble_text(SOURCE)
         simulator = create_simulator(testmodel, "interpretive")
@@ -85,3 +79,31 @@ class TestProfiler:
         simulator.run(max_cycles=10_000)
         report = profiler.report()
         assert report.issue_cycles > 0
+
+    def test_static_kind_profiles_identically(self, testmodel,
+                                              testmodel_tools, profiled):
+        compiled_report, program, _ = profiled
+        simulator = create_simulator(testmodel, "static")
+        simulator.load_program(program)
+        profiler = Profiler(simulator)
+        simulator.run(max_cycles=10_000)
+        report = profiler.report()
+        assert report.fetch_counts == compiled_report.fetch_counts
+        assert report.issue_cycles == compiled_report.issue_cycles
+        assert report.bubble_cycles == compiled_report.bubble_cycles
+        assert report.total_cycles == simulator.cycles
+
+    def test_bubble_attribution(self, profiled):
+        report, _, _ = profiled
+        assert sum(report.bubbles_by_reason.values()) \
+            == report.bubble_cycles
+        assert report.bubbles_by_reason.get("drain", 0) > 0
+
+    def test_packet_statistics(self, profiled):
+        report, _, _ = profiled
+        assert sum(report.packet_sizes.values()) == report.issue_cycles
+        assert sum(
+            size * count for size, count in report.packet_sizes.items()
+        ) == report.instructions_issued
+        assert not math.isnan(report.mean_packet_size)
+        assert report.mean_packet_size >= 1.0

@@ -131,9 +131,24 @@ class TestStats:
         assert stats.cpi == stats.cycles / 4
 
     def test_cpi_with_no_instructions(self, testmodel):
+        import math
+
         from repro.sim.base import SimulationStats
 
-        assert SimulationStats(cycles=5, instructions=0).cpi == float("inf")
+        stats = SimulationStats(cycles=5, instructions=0)
+        assert math.isnan(stats.cpi)
+        assert stats.to_dict()["cpi"] is None
+
+    def test_wall_time_and_speed(self, testmodel, testmodel_tools):
+        _, stats = run_program(
+            testmodel, testmodel_tools, PROGRAMS["straight_line"],
+            "compiled",
+        )
+        assert stats.wall_seconds > 0
+        assert stats.simulated_cycles_per_second > 0
+        assert stats.simulated_cycles_per_second == pytest.approx(
+            stats.cycles / stats.wall_seconds
+        )
 
 
 class TestRunaway:
