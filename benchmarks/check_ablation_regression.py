@@ -1,0 +1,146 @@
+"""Regression gate for the instantiated (level-3) simulation speed.
+
+The SimIR refactor routed every backend through one lowered IR; this
+script guards the bargain: the instantiated level must not get slower.
+Absolute cycles/second depends on the host, so the gate compares
+*hardware-normalised* speed ratios -- each level's rate divided by the
+dynamically scheduled ``compiled`` level measured in the same process
+on the same machine -- against a committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_ablation_regression.py
+    PYTHONPATH=src python benchmarks/check_ablation_regression.py --update
+
+``--update`` rewrites the baseline from a fresh measurement (commit the
+result deliberately).  The check fails (exit 1) when any gated level's
+ratio drops more than ``tolerance`` (default 10%) below the baseline;
+ratios *above* baseline only print a note, so genuine speedups never
+block CI but do invite a baseline refresh.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.apps import build_fir
+from repro.bench import simulation_speed
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "ablation_baseline.json"
+)
+
+REFERENCE_LEVEL = "compiled"
+GATED_LEVELS = ("unfolded", "unfolded_static")
+WORKLOAD = dict(taps=16, samples=32)
+
+
+def measure(min_runtime):
+    """Measured cycles/s per level, one process, one workload."""
+    app = build_fir("c62x", **WORKLOAD)
+    rates = {}
+    for kind in (REFERENCE_LEVEL,) + GATED_LEVELS:
+        rates[kind] = simulation_speed(
+            app, kind, min_runtime=min_runtime
+        )["cycles_per_s"]
+    return rates
+
+
+def measured_ratios(min_runtime, rounds, reducer):
+    """Per-level ratios over ``rounds`` independent measurements.
+
+    Scheduler noise on shared CI machines only ever makes a level look
+    *slower*, so the *check* takes the best round per level (noise
+    cannot hide a real regression that way) while ``--update`` records
+    the conservative worst round as the baseline.
+    """
+    rounds_rates = [measure(min_runtime) for _ in range(rounds)]
+    reduced = {
+        kind: reducer(ratios_of(rates)[kind] for rates in rounds_rates)
+        for kind in GATED_LEVELS
+    }
+    return rounds_rates[-1], reduced
+
+
+def ratios_of(rates):
+    reference = rates[REFERENCE_LEVEL]
+    return {kind: rates[kind] / reference for kind in GATED_LEVELS}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline")
+    parser.add_argument("--min-runtime", type=float,
+                        default=float(os.environ.get(
+                            "REPRO_ABLATION_RUNTIME", "1.0")),
+                        help="seconds of simulation per level "
+                        "(default 1.0; raise on noisy machines)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed fractional regression "
+                        "(default: the baseline's, normally 0.10)")
+    parser.add_argument("--rounds", type=int, default=2,
+                        help="measurement rounds; the best ratio per "
+                        "level counts (default 2)")
+    args = parser.parse_args(argv)
+
+    rates, ratios = measured_ratios(
+        args.min_runtime, max(1, args.rounds),
+        reducer=min if args.update else max,
+    )
+    for kind in (REFERENCE_LEVEL,) + GATED_LEVELS:
+        print("%-16s %12.0f cycles/s  x%.2f vs %s" % (
+            kind, rates[kind], rates[kind] / rates[REFERENCE_LEVEL],
+            REFERENCE_LEVEL,
+        ))
+
+    if args.update:
+        baseline = {
+            "description": "hardware-normalised level-3 speed ratios "
+            "(level rate / compiled rate, same host, same process)",
+            "workload": "fir-c62x taps=%(taps)d samples=%(samples)d"
+            % WORKLOAD,
+            "reference_level": REFERENCE_LEVEL,
+            "ratios": {k: round(v, 3) for k, v in ratios.items()},
+            "tolerance": 0.10,
+        }
+        os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("baseline written to %s" % BASELINE_PATH)
+        return 0
+
+    try:
+        with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except OSError:
+        print("no baseline at %s -- run with --update first"
+              % BASELINE_PATH, file=sys.stderr)
+        return 2
+
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else baseline.get("tolerance", 0.10))
+    failed = False
+    for kind in GATED_LEVELS:
+        expected = baseline["ratios"][kind]
+        got = ratios[kind]
+        floor = expected * (1.0 - tolerance)
+        if got < floor:
+            failed = True
+            print("FAIL %-16s ratio %.2f < %.2f (baseline %.2f - %d%%)"
+                  % (kind, got, floor, expected, tolerance * 100),
+                  file=sys.stderr)
+        else:
+            note = " (above baseline %.2f)" % expected if got > expected \
+                else ""
+            print("ok   %-16s ratio %.2f >= %.2f%s"
+                  % (kind, got, floor, note))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

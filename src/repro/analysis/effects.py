@@ -5,16 +5,16 @@ the write sets of one instruction; static scheduling needs much more:
 *which pipeline stage* each access happens in, the *read* sets (for
 RAW/WAR detection), whether the instruction may raise pipeline-control
 requests, and the constant PC targets it can assign (for control-flow
-recovery).  :class:`EffectsAnalyzer` computes all of it in one walk
-over the decode-time-resolved schedule, and the packet linter now
-delegates here so there is exactly one effects walker in the tree.
+recovery).  :class:`EffectsAnalyzer` computes all of it by lowering the
+decode-time-resolved schedule into SimIR (:mod:`repro.simcc.ir`) and
+reading the effects directly off the typed micro-operations -- the
+*same* lowering the simulator backends execute, so the analysis sees
+exactly the accesses the generated simulator performs.
 
-Cells are identified by the code generator's resolved access text:
-a constant-folded element access (``s.lsq[0]``) becomes an exact cell
-``("lsq", "0")``, a scalar register ``("PC", None)``, and a computed
-index degrades to a whole-resource wildcard ``("R", "*")``.  Reusing
-the code generator for resolution guarantees the analysis sees exactly
-the accesses the generated simulator performs.
+Cells are identified as ``(resource, element)`` pairs: a
+constant-folded element access becomes an exact cell ``("lsq", "0")``,
+a scalar register ``("PC", None)``, and a computed index degrades to a
+whole-resource wildcard ``("R", "*")``.
 """
 
 from __future__ import annotations
@@ -23,12 +23,10 @@ import re
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.behavior import ast as bast
-from repro.behavior.runtime import CONTROL_INTRINSICS
 from repro.machine.schedule import build_schedule
 from repro.support.errors import ReproError
 
-#: Maximum sub-operation invocation depth the walker follows before
+#: Maximum sub-operation inline depth the lowering follows before
 #: giving up and marking the effects conservative/truncated.
 MAX_CALL_DEPTH = 16
 
@@ -44,6 +42,8 @@ def classify_lvalue(lvalue_source):
     """Map a generated lvalue to a cell key: (resource, element|None|'*').
 
     Returns ``None`` for behaviour-local targets (not architectural).
+    Retained for tools that classify rendered source text; the analyzer
+    itself now reads cells off the IR.
     """
     match = _ELEMENT.match(lvalue_source)
     if match:
@@ -133,7 +133,7 @@ class StageEffects:
 class InstructionEffects:
     """Per-stage effects of one decoded instruction instance.
 
-    ``truncated`` is set when the walker hit the recursion limit or an
+    ``truncated`` is set when lowering hit the inline-depth limit or an
     unresolvable construct; consumers must treat such instructions
     conservatively (the hazard pass reports ``unknown``).
     """
@@ -189,10 +189,12 @@ class _StageAccumulator:
 class EffectsAnalyzer:
     """Computes :class:`InstructionEffects` for decoded instructions.
 
-    Walks the decode-time-resolved schedule (only selected IF/SWITCH
-    variants count), recursing into sub-operation invocations exactly as
-    the code generator inlines them; conditional accesses inside
-    run-time IFs are included conservatively.
+    Lowers the decode-time-resolved schedule into SimIR (only selected
+    IF/SWITCH variants count, sub-operation invocations are inlined
+    exactly as the code generator inlines them) and accumulates reads,
+    writes, control requests and constant PC targets off the micro-ops;
+    conditional accesses inside run-time guards are included
+    conservatively.
     """
 
     def __init__(self, model, codegen=None):
@@ -209,113 +211,80 @@ class EffectsAnalyzer:
 
     def effects_of(self, node):
         """Per-stage effects of one decoded instruction instance."""
+        from repro.simcc import ir
+
         depth = self._model.pipeline.depth
         accs = [_StageAccumulator() for _ in range(depth)]
-        truncated = [False]
+        truncated = False
+        lowerer = ir.Lowerer(self._model, self._codegen._variant_cache,
+                             depth_limit=MAX_CALL_DEPTH)
         for item in build_schedule(node, self._model):
-            self._walk(item.behavior.statements, item.node,
-                       accs[item.stage], 0, False, truncated)
+            try:
+                ops = lowerer.lower_statements(
+                    item.behavior.statements, item.node
+                )
+            except ReproError:
+                truncated = True  # unresolvable or too deep: conservative
+                continue
+            self._accumulate(ops, accs[item.stage], False, ir)
         return InstructionEffects(
             stages=tuple(acc.freeze() for acc in accs),
-            truncated=truncated[0],
+            truncated=truncated,
         )
 
     def written_cells(self, node):
         """All storage cells the instruction may write (any stage)."""
         return set(self.effects_of(node).writes)
 
-    # -- the walker ----------------------------------------------------------
+    # -- the accumulator -----------------------------------------------------
 
-    def _walk(self, statements, node, acc, depth, cond, truncated):
-        if depth > MAX_CALL_DEPTH:
-            truncated[0] = True
-            return
-        for stmt in statements:
-            self._statement(stmt, node, acc, depth, cond, truncated)
+    def _accumulate(self, ops, acc, cond, ir):
+        """Fold one lowered micro-op sequence into a stage accumulator.
 
-    def _statement(self, stmt, node, acc, depth, cond, truncated):
-        if isinstance(stmt, bast.Assign):
-            self._assign(stmt, node, acc, cond, truncated)
-        elif isinstance(stmt, bast.If):
-            self._reads(stmt.condition, node, acc, truncated)
-            self._walk(stmt.then_body, node, acc, depth, True, truncated)
-            if stmt.else_body:
-                self._walk(stmt.else_body, node, acc, depth, True, truncated)
-        elif isinstance(stmt, bast.While):
-            self._reads(stmt.condition, node, acc, truncated)
-            self._walk(stmt.body, node, acc, depth, True, truncated)
-        elif isinstance(stmt, bast.Block):
-            self._walk(stmt.body, node, acc, depth, cond, truncated)
-        elif isinstance(stmt, bast.LocalDecl):
-            if stmt.init is not None:
-                self._reads(stmt.init, node, acc, truncated)
-        elif isinstance(stmt, bast.ExprStmt):
-            self._expr_statement(stmt.expression, node, acc, depth, cond,
-                                 truncated)
-        # Other statement kinds have no architectural effects.
-
-    def _assign(self, stmt, node, acc, cond, truncated):
-        try:
-            target_src, _ = self._codegen._lvalue(stmt.target, node)
-        except ReproError:
-            truncated[0] = True  # unresolvable target: be conservative
-            return
-        cell = classify_lvalue(target_src)
-        value_src = self._render(stmt.value, node, acc, truncated)
-        if cell is not None:
-            acc.writes.add(cell)
-            # A computed target index reads its index cells.
-            acc.reads |= scan_read_cells(target_src) - {cell}
-            if stmt.op != "=":
-                acc.reads.add(cell)
-            if cell == (self._pc_name, None) and stmt.op == "=":
-                target = const_int(value_src) if value_src else None
-                acc.pc_writes.append(PCWrite(target=target,
-                                             conditional=cond))
-        elif stmt.op != "=":
-            pass  # local augmented assign: no architectural read
-
-    def _expr_statement(self, expr, node, acc, depth, cond, truncated):
-        if isinstance(expr, bast.Call):
-            if expr.name in CONTROL_INTRINSICS:
+        ``cond`` marks ops nested under a run-time guard/loop (their PC
+        writes are conditional; their reads/writes still count, which is
+        the conservative inclusion the hazard pass relies on).
+        """
+        for op in ops:
+            if isinstance(op, (ir.WriteReg, ir.WriteElem)):
+                cell = ir.write_cell(op)
+                acc.writes.add(cell)
+                if isinstance(op, ir.WriteElem):
+                    acc.reads |= ir.read_cells(op.index)
+                acc.reads |= ir.read_cells(op.value)
+                if op.augmented:
+                    acc.reads.add(cell)
+                elif cell == (self._pc_name, None):
+                    acc.pc_writes.append(PCWrite(
+                        target=self._const_target(op.value, ir),
+                        conditional=cond,
+                    ))
+            elif isinstance(op, ir.WriteLocal):
+                acc.reads |= ir.read_cells(op.value)
+            elif isinstance(op, ir.Control):
                 acc.control = True
-                for arg in expr.args:
-                    self._reads(arg, node, acc, truncated)
-                return
-            child = self._resolve_child(expr.name, node)
-            if child is not None:
-                variant = self._variant(child)
-                for behavior in variant.behaviors:
-                    self._walk(behavior.statements, child, acc,
-                               depth + 1, cond, truncated)
-                return
-        self._reads(expr, node, acc, truncated)
+                for arg in op.args:
+                    acc.reads |= ir.read_cells(arg)
+            elif isinstance(op, ir.Guard):
+                acc.reads |= ir.read_cells(op.cond)
+                self._accumulate(op.then_ops, acc, True, ir)
+                self._accumulate(op.else_ops, acc, True, ir)
+            elif isinstance(op, ir.Loop):
+                acc.reads |= ir.read_cells(op.cond)
+                self._accumulate(op.body, acc, True, ir)
+            elif isinstance(op, ir.Eval):
+                acc.reads |= ir.read_cells(op.value)
 
-    def _resolve_child(self, name, node):
-        child = node.children.get(name)
-        if child is None and name in node.operation.references:
-            kind, payload = node.lookup(name)
-            child = payload if kind == "child" else None
-        return child
+    @staticmethod
+    def _const_target(value, ir):
+        """The constant a PC write assigns, or None when computed.
 
-    def _variant(self, child):
-        return self._codegen._variant(child)
-
-    # -- expression rendering ------------------------------------------------
-
-    def _render(self, expr, node, acc, truncated):
-        """Render an expression via the code generator and record its
-        reads; returns the source text, or None when unresolvable."""
-        try:
-            source = self._codegen._expr(expr, node)
-        except ReproError:
-            truncated[0] = True
-            return None
-        acc.reads |= scan_read_cells(source)
-        return source
-
-    def _reads(self, expr, node, acc, truncated):
-        self._render(expr, node, acc, truncated)
+        Folds just this value (never whole op sequences: folding away a
+        constant-false guard would silently shrink the write sets the
+        hazard pass depends on).
+        """
+        folded = ir._fold_value(value, ir.PassStats())
+        return folded.value if isinstance(folded, ir.Const) else None
 
 
 def packet_collisions(members, report=None, packet_pc=None):

@@ -160,6 +160,18 @@ class Toolset:
             kwargs["labeler"] = obs.opcode_labeler(self.model, program)
         return obs.Observer(**kwargs)
 
+    def dump_ir(self, program):
+        """The lowered, post-pass SimIR of every execute packet.
+
+        Returns the same human-readable text ``repro-sim --dump-ir``
+        prints: per packet, the per-member, per-stage micro-operation
+        functions exactly as the simulation backends consume them --
+        the ground truth for debugging retargeting issues.
+        """
+        from repro.simcc.ir import dump_program_ir
+
+        return dump_program_ir(self.model, program)
+
     def analyze(self, program, packet_lint=True, observer=None):
         """Run the static analysis passes over an assembled program.
 

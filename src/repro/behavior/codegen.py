@@ -1,47 +1,47 @@
-"""Python code generation for behaviours: the *operation instantiation*
-step of compiled simulation.
+"""Operation instantiation: behaviours become specialised code via SimIR.
 
-Given a behaviour and a fully decoded operation instance, the generator
-emits specialised Python source in which
+Given a behaviour and a fully decoded operation instance, the code
+generator *lowers* into the typed micro-operation IR
+(:mod:`repro.simcc.ir`) in which
 
-* coding-field operands are folded to integer literals,
+* coding-field operands are folded to integer constants,
 * group operands are replaced by the selected sub-operation's inlined
-  EXPRESSION (e.g. ``dst`` becomes ``s.R[3]``),
+  EXPRESSION (e.g. ``dst`` becomes a read/write of ``R[3]``),
 * decode-time IF/SWITCH variants have already been resolved away,
-* resource writes carry inline canonicalisation for the declared width.
+* resource writes carry the declared width of their target,
 
-The paper generates C++ here; we generate Python and ``compile``/``exec``
-it, preserving the structure (generate once per program instruction,
-then run the compiled artefact).  The arithmetic must agree bit-for-bit
-with :mod:`repro.behavior.evaluator`.
+then runs the IR pass pipeline (constant folding, canonicalisation
+coalescing, dead-write elimination, helper hoisting) and renders the
+result through one of the IR backends.  The paper generates C++ here;
+we generate Python and ``compile``/``exec`` it, preserving the
+structure (generate once per program instruction, then run the
+compiled artefact).  The arithmetic must agree bit-for-bit with
+:mod:`repro.behavior.evaluator` -- both canonicalise writes through
+:func:`repro.support.bitutils.canonicalize`.
 """
 
 from __future__ import annotations
 
-from repro.behavior import ast
-from repro.behavior.runtime import (
-    CODEGEN_GLOBALS,
-    CODEGEN_INTRINSIC_NAMES,
-    CONTROL_INTRINSICS,
-)
-from repro.support.errors import BehaviorError
-
-_LOCAL_PREFIX = "_l_"
-
-_CMP_OPS = frozenset(["==", "!=", "<", ">", "<=", ">="])
-_PLAIN_OPS = frozenset(["+", "-", "*", "&", "|", "^", "<<", ">>"])
+from repro.support.bitutils import canonical_source
 
 
 def canonical_write_source(dtype, value_source):
-    """Source text canonicalising ``value_source`` into ``dtype``."""
-    if dtype.signed:
-        half = 1 << (dtype.width - 1)
-        return "((%s + %d) & %d) - %d" % (value_source, half, dtype.mask, half)
-    return "(%s) & %d" % (value_source, dtype.mask)
+    """Source text canonicalising ``value_source`` into ``dtype``.
+
+    Thin wrapper over :func:`repro.support.bitutils.canonical_source`,
+    the single source of truth for the write-canonicalisation formula.
+    """
+    return canonical_source(value_source, dtype.width, dtype.signed)
 
 
 class BehaviorCodegen:
-    """Generates specialised Python source for decoded behaviours."""
+    """Generates specialised Python callables for decoded behaviours.
+
+    The façade the simulation layers program against: lowering, pass
+    pipeline and backend selection live in :mod:`repro.simcc.ir`; this
+    class wires them together and owns the decode-variant cache shared
+    with the analysis passes.
+    """
 
     def __init__(self, model, variant_cache=None):
         self._model = model
@@ -49,272 +49,40 @@ class BehaviorCodegen:
 
     # -- public entry points ---------------------------------------------
 
+    def lower_function(self, name, scheduled_items, optimize=True,
+                       stats=None):
+        """Lower (node, behaviour) pairs into one optimised
+        :class:`~repro.simcc.ir.IRFunction`.
+
+        ``scheduled_items`` run back to back (one stage's micro-ops, or
+        a whole statically scheduled column).  With ``optimize=False``
+        the raw lowered form is returned (the IR dump uses this to show
+        before/after).
+        """
+        from repro.simcc import ir
+
+        lowerer = ir.Lowerer(self._model, self._variant_cache)
+        func = ir.IRFunction(name=name, ops=lowerer.lower_items(scheduled_items))
+        if optimize:
+            func = ir.run_passes(func, self._model, stats=stats)
+        return func
+
     def function_source(self, name, scheduled_items, bind=None):
         """A complete ``def`` executing the given scheduled behaviours.
 
-        ``scheduled_items`` is an iterable of (node, behavior) pairs that
-        run back to back (one stage's micro-ops, or a whole statically
-        scheduled column).  ``bind`` maps the state/control parameters to
-        default-argument expressions (for closure-free binding); None
-        produces a plain ``(s, c)`` signature for emitted modules.
+        ``bind`` maps the state/control parameters to default-argument
+        expressions (for closure-free binding); None produces a plain
+        ``(s, c)`` signature for emitted modules.
         """
-        if bind is None:
-            header = "def %s(s, c):" % name
-        else:
-            header = "def %s(s=%s, c=%s):" % (name, bind[0], bind[1])
-        lines = [header]
-        body = []
-        for node, behavior in scheduled_items:
-            body.extend(self.statements_source(behavior.statements, node, 1))
-        if not body:
-            body = ["    pass"]
-        lines.extend(body)
-        return "\n".join(lines) + "\n"
+        from repro.simcc import ir
+
+        func = self.lower_function(name, scheduled_items)
+        return ir.render_function_source(func, bind=bind)
 
     def compile_function(self, name, scheduled_items, state, control):
         """Generate, compile and return a no-argument callable bound to
         ``state`` and ``control`` via default arguments."""
-        source = self.function_source(name, scheduled_items, bind=("__state", "__ctrl"))
-        namespace = dict(CODEGEN_GLOBALS)
-        namespace["__state"] = state
-        namespace["__ctrl"] = control
-        exec(compile(source, "<generated:%s>" % name, "exec"), namespace)
-        return namespace[name]
+        from repro.simcc import ir
 
-    # -- statements --------------------------------------------------------
-
-    def statements_source(self, statements, node, indent):
-        lines = []
-        for stmt in statements:
-            lines.extend(self._stmt(stmt, node, indent))
-        if not lines:
-            lines = ["    " * indent + "pass"]
-        return lines
-
-    def _stmt(self, stmt, node, indent):
-        pad = "    " * indent
-        if isinstance(stmt, ast.Assign):
-            return [pad + self._assign_source(stmt, node)]
-        if isinstance(stmt, ast.ExprStmt):
-            return self._expr_stmt(stmt.expression, node, indent)
-        if isinstance(stmt, ast.LocalDecl):
-            init = "0"
-            if stmt.init is not None:
-                init = self._expr(stmt.init, node)
-            return [pad + "%s%s = %s" % (_LOCAL_PREFIX, stmt.name, init)]
-        if isinstance(stmt, ast.If):
-            lines = [pad + "if %s:" % self._expr(stmt.condition, node)]
-            lines.extend(self.statements_source(stmt.then_body, node, indent + 1))
-            if stmt.else_body:
-                lines.append(pad + "else:")
-                lines.extend(
-                    self.statements_source(stmt.else_body, node, indent + 1)
-                )
-            return lines
-        if isinstance(stmt, ast.While):
-            lines = [pad + "while %s:" % self._expr(stmt.condition, node)]
-            lines.extend(self.statements_source(stmt.body, node, indent + 1))
-            return lines
-        if isinstance(stmt, ast.Block):
-            return self.statements_source(stmt.body, node, indent)
-        raise BehaviorError("cannot generate code for %r" % (stmt,), None)
-
-    def _expr_stmt(self, expr, node, indent):
-        pad = "    " * indent
-        if isinstance(expr, ast.Call):
-            control_method = CONTROL_INTRINSICS.get(expr.name)
-            if control_method is not None:
-                args = ", ".join(self._expr(a, node) for a in expr.args)
-                return [pad + "c.%s(%s)" % (control_method, args)]
-            operand = self._operand(expr.name, node)
-            if operand is not None and operand[0] == "child":
-                # Inline the selected sub-operation's behaviours.
-                child = operand[1]
-                variant = self._variant(child)
-                lines = []
-                for behavior in variant.behaviors:
-                    lines.extend(
-                        self.statements_source(behavior.statements, child,
-                                               indent)
-                    )
-                return lines or [pad + "pass"]
-            if expr.name in CODEGEN_INTRINSIC_NAMES:
-                return []  # pure call in statement position: no effect
-        # Generic expression statement: evaluate for completeness.
-        return [pad + self._expr(expr, node)]
-
-    def _assign_source(self, stmt, node):
-        value_src = self._expr(stmt.value, node)
-        target_src, dtype = self._lvalue(stmt.target, node)
-        if stmt.op != "=":
-            value_src = self._binary_source(
-                stmt.op[:-1], target_src, "(%s)" % value_src
-            )
-        if dtype is None:  # local variable: unbounded
-            return "%s = %s" % (target_src, value_src)
-        return "%s = %s" % (target_src, canonical_write_source(dtype, value_src))
-
-    def _lvalue(self, target, node):
-        """Return (target source, dtype-or-None for locals)."""
-        if isinstance(target, ast.Name):
-            name = target.name
-            operand = self._operand(name, node)
-            if operand is not None:
-                kind, payload = operand
-                if kind == "label":
-                    raise BehaviorError(
-                        "cannot assign to coding field %r" % name,
-                        target.location,
-                    )
-                child = payload
-                variant = self._variant(child)
-                if variant.expression is None:
-                    raise BehaviorError(
-                        "operand %r (operation %r) has no EXPRESSION to "
-                        "assign through" % (name, child.operation.name),
-                        target.location,
-                    )
-                return self._lvalue(variant.expression.expression, child)
-            reg = self._model.registers.get(name)
-            if reg is not None and not reg.is_file:
-                return "s.%s" % name, reg.dtype
-            # Anything else writable by name is a behaviour-local.
-            return _LOCAL_PREFIX + name, None
-        if isinstance(target, ast.Index):
-            base = target.base
-            index_src = self._expr(target.index, node)
-            reg = self._model.registers.get(base)
-            if reg is not None and reg.is_file:
-                return "s.%s[%s]" % (base, index_src), reg.dtype
-            mem = self._model.memories.get(base)
-            if mem is not None:
-                return "s.%s[%s]" % (base, index_src), mem.dtype
-            raise BehaviorError(
-                "cannot index-assign to %r" % base, target.location
-            )
-        raise BehaviorError("invalid assignment target %r" % (target,), None)
-
-    # -- expressions --------------------------------------------------------
-
-    def _variant(self, node):
-        # Keyed by identity, with the node pinned in the entry: ids are
-        # only unique among live objects, and analysis passes feed this
-        # cache transient nodes whose ids would otherwise be recycled.
-        key = id(node)
-        entry = self._variant_cache.get(key)
-        if entry is None or entry[0] is not node:
-            entry = (node, node.variant(self._model))
-            self._variant_cache[key] = entry
-        return entry[1]
-
-    def _operand(self, name, node):
-        if name in node.fields:
-            return ("label", node.fields[name])
-        if name in node.children:
-            return ("child", node.children[name])
-        if name in node.operation.references:
-            return node.lookup(name)
-        return None
-
-    def _expr(self, expr, node):
-        if isinstance(expr, ast.IntLit):
-            return repr(expr.value)
-        if isinstance(expr, ast.Name):
-            return self._name_source(expr, node)
-        if isinstance(expr, ast.Index):
-            base = expr.base
-            model = self._model
-            reg = model.registers.get(base)
-            mem = model.memories.get(base)
-            if (reg is not None and reg.is_file) or mem is not None:
-                return "s.%s[%s]" % (base, self._expr(expr.index, node))
-            raise BehaviorError(
-                "%r is not an indexable resource" % base, expr.location
-            )
-        if isinstance(expr, ast.Unary):
-            inner = self._expr(expr.operand, node)
-            if expr.op == "-":
-                return "(-%s)" % inner
-            if expr.op == "~":
-                return "(~%s)" % inner
-            return "(0 if %s else 1)" % inner
-        if isinstance(expr, ast.Binary):
-            return self._binary(expr, node)
-        if isinstance(expr, ast.Ternary):
-            return "((%s) if (%s) else (%s))" % (
-                self._expr(expr.if_true, node),
-                self._expr(expr.condition, node),
-                self._expr(expr.if_false, node),
-            )
-        if isinstance(expr, ast.Call):
-            return self._call_source(expr, node)
-        raise BehaviorError("cannot generate code for %r" % (expr,), None)
-
-    def _name_source(self, expr, node):
-        name = expr.name
-        operand = self._operand(name, node)
-        if operand is not None:
-            kind, payload = operand
-            if kind == "label":
-                return repr(payload)  # constant folding of coding fields
-            child = payload
-            variant = self._variant(child)
-            if variant.expression is None:
-                raise BehaviorError(
-                    "operand %r (operation %r) has no EXPRESSION"
-                    % (name, child.operation.name),
-                    expr.location,
-                )
-            return "(%s)" % self._expr(variant.expression.expression, child)
-        reg = self._model.registers.get(name)
-        if reg is not None:
-            if reg.is_file:
-                raise BehaviorError(
-                    "register file %r used without index" % name,
-                    expr.location,
-                )
-            return "s.%s" % name
-        if name in self._model.config.defines:
-            return repr(self._model.config.defines[name])
-        # Otherwise this must be a behaviour-local variable.
-        return _LOCAL_PREFIX + name
-
-    def _binary(self, expr, node):
-        left = self._expr(expr.left, node)
-        right = self._expr(expr.right, node)
-        return self._binary_source(expr.op, left, right)
-
-    def _binary_source(self, op, left, right):
-        if op in _PLAIN_OPS:
-            return "(%s %s %s)" % (left, op, right)
-        if op in _CMP_OPS:
-            return "(1 if %s %s %s else 0)" % (left, op, right)
-        if op == "/":
-            return "__idiv(%s, %s)" % (left, right)
-        if op == "%":
-            return "__imod(%s, %s)" % (left, right)
-        if op == "&&":
-            return "(1 if (%s and %s) else 0)" % (left, right)
-        if op == "||":
-            return "(1 if (%s or %s) else 0)" % (left, right)
-        raise BehaviorError("unknown binary operator %r" % op, None)
-
-    def _call_source(self, expr, node):
-        mangled = CODEGEN_INTRINSIC_NAMES.get(expr.name)
-        if mangled is not None:
-            args = ", ".join(self._expr(a, node) for a in expr.args)
-            return "%s(%s)" % (mangled, args)
-        control_method = CONTROL_INTRINSICS.get(expr.name)
-        if control_method is not None:
-            args = ", ".join(self._expr(a, node) for a in expr.args)
-            return "c.%s(%s)" % (control_method, args)
-        operand = self._operand(expr.name, node)
-        if operand is not None and operand[0] == "child":
-            raise BehaviorError(
-                "sub-operation call %r() is only allowed as a standalone "
-                "statement" % expr.name,
-                expr.location,
-            )
-        raise BehaviorError(
-            "unknown callable %r in behaviour" % expr.name, expr.location
-        )
+        func = self.lower_function(name, scheduled_items)
+        return ir.PythonExecBackend().compile_function(func, state, control)

@@ -247,6 +247,12 @@ def sim_main(argv=None):
         help="print memory cells after the run (repeatable)",
     )
     parser.add_argument(
+        "--dump-ir", action="store_true",
+        help="print the lowered, post-pass SimIR of every execute "
+        "packet instead of simulating (for debugging retargeting "
+        "issues)",
+    )
+    parser.add_argument(
         "--stats", action="store_true", help="print timing statistics",
     )
     parser.add_argument(
@@ -291,6 +297,11 @@ def sim_main(argv=None):
         model = _resolve_model(args.model)
         _print_model_diagnostics(parser, model, args.werror)
         program = _load_program(model, args.program)
+        if args.dump_ir:
+            from repro.simcc.ir import dump_program_ir
+
+            dump_program_ir(model, program, stream=sys.stdout)
+            return 0
         cache = None
         if args.cache_dir and not args.no_cache:
             from repro.simcc.cache import SimulationCache

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.behavior import ast as bast
-from repro.support.bitutils import BitPattern
+from repro.support.bitutils import BitPattern, canonicalize
 from repro.support.errors import LisaSemanticError
 
 # -- data types --------------------------------------------------------------
@@ -34,12 +34,10 @@ class DataType:
         """Encode ``value`` into this type's canonical Python integer.
 
         Signed types are stored as signed Python ints so that reads (which
-        dominate simulation time) need no conversion.
+        dominate simulation time) need no conversion.  Delegates to
+        :func:`repro.support.bitutils.canonicalize`, the shared formula.
         """
-        value &= self.mask
-        if self.signed and value >= (1 << (self.width - 1)):
-            return value - (1 << self.width)
-        return value
+        return canonicalize(value, self.width, self.signed)
 
 
 _TYPE_LIST = [

@@ -38,8 +38,8 @@ from __future__ import annotations
 
 from functools import partial
 
-from repro.behavior.codegen import BehaviorCodegen
 from repro.sim.base import Simulator
+from repro.simcc import ir
 from repro.simcc.generator import generate_simulation_compiler
 from repro.support.errors import SimulationError
 
@@ -317,10 +317,16 @@ class StaticScheduledSimulator(Simulator):
     """Simulation-table simulator with static scheduling.
 
     ``cache``/``jobs`` behave as on
-    :class:`repro.sim.compiled.CompiledSimulator`.  A cache-rehydrated
-    table carries generated functions but no decoded items, so level-3
-    column *fusion* degrades gracefully to column *composition* (the
-    flattened per-stage function list) -- scheduling is still static.
+    :class:`repro.sim.compiled.CompiledSimulator`.  Level-3 column
+    *fusion* concatenates the lowered per-stage IR of every in-flight
+    instruction (oldest first), re-runs dead-write elimination over the
+    combined sequence -- a write superseded by a younger instruction in
+    the same cycle is dropped -- and compiles one function per interned
+    occupancy.  Cache-rehydrated tables carry the persisted IR, so they
+    fuse exactly like freshly compiled ones.  ``column_stats``
+    accumulates the pass counters across every fused column (the
+    ``dead_writes_removed`` count is the observable proof that column
+    DCE fires).
     """
 
     def __init__(self, model, level="sequenced", cache=None, jobs=None,
@@ -333,6 +339,8 @@ class StaticScheduledSimulator(Simulator):
         self._verify_schedule = verify_schedule
         self.table = None
         self._column_counter = 0
+        self._backend = ir.PythonExecBackend()
+        self.column_stats = ir.PassStats()
 
     @property
     def kind(self):
@@ -366,20 +374,32 @@ class StaticScheduledSimulator(Simulator):
         )
 
     def _compile_column(self, pcs, slots):
-        """Fuse a whole pipeline column into one generated function."""
+        """Fuse a whole pipeline column into one generated function.
+
+        The column concatenates the lowered IR of each in-flight
+        instruction, deepest stage (oldest instruction) first, then
+        re-runs dead-write elimination: composition opens exactly one
+        new optimisation -- a write made dead by a younger instruction
+        writing the same cell later in the same cycle.
+        """
         table = self.table
-        if table.items_by_stage is None:
-            # Rehydrated table: no decoded items to re-specialise; let
-            # the caller compose the column from per-stage functions.
+        if table.ir_by_stage is None:
+            # No lowered IR behind this table (hand-built or legacy):
+            # let the caller compose the column from per-stage
+            # functions instead.
             return None
-        items = []
+        ops = []
         for stage in range(self.model.pipeline.depth - 1, -1, -1):
-            if pcs[stage] is not None:
-                items.extend(table.items_by_stage[pcs[stage]][stage])
-        if not items:
+            pc = pcs[stage]
+            if pc is not None:
+                for func in table.ir_by_stage[pc][stage]:
+                    ops.extend(func.ops)
+        if not ops:
             return ()
-        codegen = BehaviorCodegen(self.model)
         self._column_counter += 1
-        name = "column_%d" % self._column_counter
-        fn = codegen.compile_function(name, items, self.state, self.control)
+        func = ir.optimize_column(
+            "column_%d" % self._column_counter, ops, self.model,
+            stats=self.column_stats,
+        )
+        fn = self._backend.compile_function(func, self.state, self.control)
         return (fn,)

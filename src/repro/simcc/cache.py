@@ -45,7 +45,8 @@ from repro.simcc.portable import PortableTable
 
 #: Bump when the entry layout or the portable-table payload changes.
 #: 2: portable tables carry per-packet ``schedule_safety`` verdicts.
-FORMAT_VERSION = 2
+#: 3: portable tables store SimIR payloads instead of source text.
+FORMAT_VERSION = 3
 
 _MAGIC = b"repro-simtab\n"
 
@@ -245,6 +246,12 @@ class SimulationCache:
             if not blob.startswith(_MAGIC):
                 raise ValueError("bad magic")
             payload = marshal.loads(blob[len(_MAGIC):])
+            if payload["meta"].get("format") != FORMAT_VERSION:
+                # An entry written by a different (older or newer)
+                # format that strayed into this version's namespace is
+                # not corruption -- it is simply unusable here.  Treat
+                # it as a clean miss and leave it alone.
+                return None
             if payload["meta"]["digest"] != digest:
                 raise ValueError("digest mismatch")
             return PortableTable.from_payload(payload["table"])

@@ -27,6 +27,7 @@ from repro.machine.driver import IssueSlot
 from repro.machine.schedule import build_schedule
 from repro.machine.packets import packet_extent
 from repro.simcc import parallel
+from repro.simcc.ir import PythonExecBackend, ops_have_control
 from repro.support.errors import ReproError, SimulationError
 
 LEVELS = ("sequenced", "instantiated")
@@ -37,10 +38,16 @@ class SimulationTable:
     """The compiled image of one program for one (state, control) pair.
 
     ``items_by_stage`` carries the decoded (node, behaviour) pairs
-    behind each slot for consumers that re-specialise them (static
-    level-3 column fusion); it is ``None`` for tables rehydrated from a
-    :class:`repro.simcc.portable.PortableTable`, whose operations exist
-    only as generated code.
+    behind each slot for consumers that re-sequence them; it is ``None``
+    for tables rehydrated from a
+    :class:`repro.simcc.portable.PortableTable` (decoded nodes do not
+    survive serialisation).
+
+    ``ir_by_stage`` carries, at level ``instantiated``, the lowered
+    :class:`repro.simcc.ir.IRFunction` per packet member and stage --
+    the form the static scheduler fuses whole columns from.  Portable
+    tables rebuild it on :meth:`~repro.simcc.portable.PortableTable.
+    bind`, so cache-rehydrated tables fuse columns too.
 
     ``schedule_safety`` maps canonical packet starts to hazard verdicts
     from :func:`repro.analysis.schedule_safety` (``hazard_free`` /
@@ -56,6 +63,7 @@ class SimulationTable:
     instruction_count: int = 0
     word_count: int = 0
     schedule_safety: Optional[Dict[int, str]] = None
+    ir_by_stage: Optional[Dict[int, Tuple[Tuple[object, ...], ...]]] = None
 
     def slot_at(self, pc):
         slot = self.slots.get(pc)
@@ -144,6 +152,7 @@ class SimulationCompiler:
         slots = {}
         has_control = {}
         items_by_stage = {}
+        ir_by_stage = {} if level == "instantiated" else None
         instruction_count = 0
         word_count = 0
 
@@ -174,16 +183,22 @@ class SimulationCompiler:
                 }
                 instruction_count += len(tasks)
 
-                # Step 5 (level "instantiated"): specialise behaviours now.
+                # Step 5 (level "instantiated"): lower behaviours into
+                # SimIR, optimise, and compile via the exec backend.
+                ir_per_pc = None
                 if level == "instantiated":
                     with _obs.span(observer, "simcc.instantiate",
                                    words=len(per_pc)):
-                        bound = {
+                        instantiated = {
                             pc: self._instantiate(
                                 pc, stages, codegen, state, control
                             )
                             for pc, stages in per_pc.items()
                         }
+                    bound = {pc: fns for pc, (fns, _) in instantiated.items()}
+                    ir_per_pc = {
+                        pc: funcs for pc, (_, funcs) in instantiated.items()
+                    }
                 else:
                     with _obs.span(observer, "simcc.sequence",
                                    words=len(per_pc)):
@@ -212,10 +227,30 @@ class SimulationCompiler:
                             words=extent,
                             insn_count=extent,
                         )
-                        has_control[pc] = any(
-                            self._stages_have_control(per_pc[member], ctx)
-                            for member in members
-                        )
+                        if ir_per_pc is not None:
+                            # Exact: lowering already inlined every
+                            # sub-operation, so the IR scan sees all
+                            # control requests that can run.
+                            has_control[pc] = any(
+                                ops_have_control(func.ops)
+                                for member in members
+                                for stage_funcs in ir_per_pc[member]
+                                for func in stage_funcs
+                            )
+                            ir_by_stage[pc] = tuple(
+                                tuple(
+                                    itertools.chain.from_iterable(
+                                        ir_per_pc[member][stage]
+                                        for member in members
+                                    )
+                                )
+                                for stage in range(self._depth)
+                            )
+                        else:
+                            has_control[pc] = any(
+                                self._stages_have_control(per_pc[member], ctx)
+                                for member in members
+                            )
                         items_by_stage[pc] = tuple(
                             tuple(
                                 itertools.chain.from_iterable(
@@ -242,6 +277,7 @@ class SimulationCompiler:
             instruction_count=instruction_count,
             word_count=word_count,
             schedule_safety=safety,
+            ir_by_stage=ir_by_stage,
         )
 
     def compile_portable(self, program, level="sequenced", jobs=None,
@@ -279,17 +315,26 @@ class SimulationCompiler:
         return tuple(bound)
 
     def _instantiate(self, pc, stages, codegen, state, control):
-        """Level 3 binding: one generated function per occupied stage."""
+        """Level 3 binding: lower each occupied stage into one optimised
+        :class:`repro.simcc.ir.IRFunction`, compile it through the exec
+        backend, and keep the IR for static column fusion.
+
+        Returns ``(bound, funcs)`` -- parallel per-stage tuples of
+        compiled callables and their lowered IR."""
+        backend = PythonExecBackend()
         bound = []
+        funcs = []
         for stage, stage_items in enumerate(stages):
             if not stage_items:
                 bound.append(())
+                funcs.append(())
                 continue
-            fn = codegen.compile_function(
-                "insn_%x_stage_%d" % (pc, stage), stage_items, state, control
+            func = codegen.lower_function(
+                "insn_%x_stage_%d" % (pc, stage), stage_items
             )
-            bound.append((fn,))
-        return tuple(bound)
+            bound.append((backend.compile_function(func, state, control),))
+            funcs.append((func,))
+        return tuple(bound), tuple(funcs)
 
     def _stages_have_control(self, stages, ctx):
         return any(

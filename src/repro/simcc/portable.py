@@ -8,16 +8,18 @@ intermediate between the two: the full result of simulation compilation
 (decode, variant resolution, scheduling, packet formation, operation
 instantiation) expressed as
 
-* generated Python *function sources*, one per occupied (pc, stage),
+* lowered, post-pass :class:`repro.simcc.ir.IRFunction` micro-operation
+  functions, one per occupied (pc, stage),
 * a table spec mapping program addresses to per-stage function names
   plus packet extents,
 * the per-address control-capability flags the static scheduler needs.
 
 A portable table can be bound to any state/control pair (:meth:`bind`),
 serialised byte-for-byte (:mod:`repro.simcc.cache`), or rendered as a
-standalone module (:mod:`repro.simcc.emit`).  Because every behaviour
-is code-generated, binding never re-runs the simulation compiler; warm
-loads cost one ``exec`` of pre-compiled code plus argument binding.
+standalone module (:mod:`repro.simcc.emit`).  The persisted form is the
+*IR*, not source text: both backends render from it on demand, and
+binding never re-runs the simulation compiler -- warm loads cost one
+``exec`` of pre-compiled code plus argument binding.
 
 Note one deliberate asymmetry: a portable table is always *operation
 instantiated* (generated code), even when built for level
@@ -36,28 +38,34 @@ from functools import partial
 from typing import Dict, Optional, Tuple
 
 from repro.behavior.codegen import BehaviorCodegen
-from repro.behavior.evaluator import EvalContext
 from repro.behavior.runtime import CODEGEN_GLOBALS
 from repro.coding.decoder import InstructionDecoder
 from repro.machine.driver import IssueSlot
 from repro.machine.packets import packet_extent
 from repro.machine.schedule import build_schedule
 from repro.simcc import parallel
+from repro.simcc.ir import (
+    ModuleBackend,
+    function_from_payload,
+    function_to_payload,
+    ops_have_control,
+)
 
 
 @dataclass
 class PortableTable:
     """A serialisable, state-independent compiled simulation.
 
-    ``functions`` is a tuple of ``(name, source)`` pairs in a fixed
-    (pc-major, stage-minor) order; ``table_spec`` maps each program
-    address to ``(per_stage_names, words, insn_count)``.
+    ``functions`` is a tuple of lowered, post-pass
+    :class:`repro.simcc.ir.IRFunction` objects in a fixed (pc-major,
+    stage-minor) order; ``table_spec`` maps each program address to
+    ``(per_stage_names, words, insn_count)``.
     """
 
     level: str
     model_name: str
     program_name: str
-    functions: Tuple[Tuple[str, str], ...]
+    functions: Tuple[object, ...]
     table_spec: Dict[int, Tuple[Tuple[Tuple[str, ...], ...], int, int]]
     has_control: Dict[int, bool]
     instruction_count: int
@@ -69,8 +77,9 @@ class PortableTable:
     # -- code ---------------------------------------------------------------
 
     def functions_source(self):
-        """All generated function sources as one module-sized string."""
-        return "\n".join(source for _, source in self.functions)
+        """All IR functions rendered by the module backend as one
+        module-sized string."""
+        return ModuleBackend().render_functions(self.functions)
 
     def code(self):
         """The compiled code object for :meth:`functions_source` (cached)."""
@@ -99,14 +108,16 @@ class PortableTable:
         state/control pair, without re-running the simulation compiler.
 
         The bound table carries no ``items_by_stage`` (the decoded
-        (node, behaviour) pairs do not survive serialisation); static
-        level-3 column fusion detects that and composes columns from
-        the per-stage functions instead.
+        (node, behaviour) pairs do not survive serialisation) but does
+        carry ``ir_by_stage`` rebuilt from the persisted IR, so static
+        level-3 column *fusion* works on cache-rehydrated tables too.
         """
         from repro.simcc.compiler import SimulationTable
 
         namespace = self.namespace()
+        by_name = {func.name: func for func in self.functions}
         slots = {}
+        ir_by_stage = {}
         empty = ()
         for pc, (per_stage, words, insn_count) in self.table_spec.items():
             ops_by_stage = tuple(
@@ -121,6 +132,10 @@ class PortableTable:
                 words=words,
                 insn_count=insn_count,
             )
+            ir_by_stage[pc] = tuple(
+                tuple(by_name[name] for name in stage_names)
+                for stage_names in per_stage
+            )
         return SimulationTable(
             level=self.level,
             slots=slots,
@@ -132,20 +147,24 @@ class PortableTable:
                 dict(self.schedule_safety)
                 if self.schedule_safety is not None else None
             ),
+            ir_by_stage=ir_by_stage,
         )
 
     # -- (de)serialisation --------------------------------------------------
 
     def to_payload(self, with_code=True):
         """A marshal-compatible payload (ints, strings, tuples, dicts,
-        and optionally the compiled code object)."""
+        and optionally the compiled code object).  Functions serialise
+        as IR payloads (tagged tuples), not source text."""
         return {
             "level": self.level,
             "model": self.model_name,
             "program": self.program_name,
             "instruction_count": self.instruction_count,
             "word_count": self.word_count,
-            "functions": tuple(self.functions),
+            "functions": tuple(
+                function_to_payload(func) for func in self.functions
+            ),
             "table_spec": {
                 pc: (per_stage, words, insns)
                 for pc, (per_stage, words, insns) in self.table_spec.items()
@@ -165,7 +184,7 @@ class PortableTable:
             model_name=payload["model"],
             program_name=payload["program"],
             functions=tuple(
-                (name, source) for name, source in payload["functions"]
+                function_from_payload(func) for func in payload["functions"]
             ),
             table_spec={
                 int(pc): (
@@ -196,49 +215,37 @@ class PortableTable:
 # -- construction ------------------------------------------------------------
 
 
-def stages_have_control(stages, ctx):
-    """Whether any scheduled behaviour in ``stages`` may raise pipeline-
-    control requests (flush/stall/halt)."""
-    from repro.simcc.compiler import _behavior_has_control
+def _word_functions(model, decoder, depth, pc, word):
+    """Compile one program word to per-stage lowered IR functions.
 
-    return any(
-        _behavior_has_control(behavior.statements, node, ctx)
-        for stage_items in stages
-        for node, behavior in stage_items
-    )
-
-
-def _word_sources(model, decoder, depth, pc, word):
-    """Compile one program word to per-stage function sources.
-
-    Returns ``(names, sources, has_control)`` where ``names`` has one
-    entry per pipeline stage (None for unoccupied stages) and
-    ``sources`` is a tuple of (name, source) pairs.
+    Returns ``(names, funcs, has_control)`` where ``names`` has one
+    entry per pipeline stage (None for unoccupied stages) and ``funcs``
+    is a tuple of :class:`repro.simcc.ir.IRFunction`.  Control
+    capability is read off the lowered ops, which is exact: lowering
+    already inlined every sub-operation.
 
     The variant cache is per word on purpose: it is keyed by node
     *identity*, and this function drops its decoded nodes on return --
     a longer-lived cache would see recycled ids and serve stale
     variants for fresh nodes.
     """
-    variant_cache = {}
-    codegen = BehaviorCodegen(model, variant_cache)
-    ctx = EvalContext(None, None, model, variant_cache)
+    codegen = BehaviorCodegen(model, {})
     node = decoder.decode(word, address=pc)
     schedule = build_schedule(node, model)
     stages = [[] for _ in range(depth)]
     for item in schedule:
         stages[item.stage].append((item.node, item.behavior))
     names = []
-    sources = []
+    funcs = []
     for stage, items in enumerate(stages):
         if not items:
             names.append(None)
             continue
         name = "insn_%x_stage_%d" % (pc, stage)
-        sources.append((name, codegen.function_source(name, items)))
+        funcs.append(codegen.lower_function(name, items))
         names.append(name)
-    control = stages_have_control(stages, ctx)
-    return tuple(names), tuple(sources), control
+    control = any(ops_have_control(func.ops) for func in funcs)
+    return tuple(names), tuple(funcs), control
 
 
 # Per-process toolchains for codegen workers, built lazily on the first
@@ -249,10 +256,11 @@ _worker_toolchains = {}
 
 
 def _process_word_task(task):
-    """Worker entry: compile one (pc, word) to function sources.
+    """Worker entry: compile one (pc, word) to lowered IR functions.
 
     Runs in a forked worker (model inherited via the parallel module)
-    or, on fallback, in the parent process itself.
+    or, on fallback, in the parent process itself.  IR functions are
+    plain dataclasses and pickle back to the parent unchanged.
     """
     model = parallel.forked_model()
     toolchain = _worker_toolchains.get(id(model))
@@ -261,7 +269,7 @@ def _process_word_task(task):
         _worker_toolchains[id(model)] = toolchain
     model, decoder, depth = toolchain
     pc, word = task
-    return _word_sources(model, decoder, depth, pc, word)
+    return _word_functions(model, decoder, depth, pc, word)
 
 
 def build_portable_table(model, program, level="sequenced", jobs=None,
@@ -303,17 +311,17 @@ def build_portable_table(model, program, level="sequenced", jobs=None,
             else:
                 decoder = InstructionDecoder(model)
                 results = [
-                    _word_sources(model, decoder, depth, pc, word)
+                    _word_functions(model, decoder, depth, pc, word)
                     for pc, word in tasks
                 ]
 
         names_by_pc = {}
         control_by_pc = {}
         functions = []
-        for (pc, _), (names, sources, control) in zip(tasks, results):
+        for (pc, _), (names, funcs, control) in zip(tasks, results):
             names_by_pc[pc] = names
             control_by_pc[pc] = control
-            functions.extend(sources)
+            functions.extend(funcs)
 
         table_spec = {}
         has_control = {}

@@ -84,6 +84,39 @@ def insert_field(word, value, offset, width, word_width):
     return (word & ~field_mask) | ((value & mask(width)) << shift)
 
 
+def canonicalize(value, width, signed):
+    """Encode ``value`` into the canonical storage form of a resource.
+
+    Resources of a declared width store their contents masked to that
+    width; *signed* resources store the two's-complement interpretation
+    as a (possibly negative) Python integer, so that reads -- which
+    dominate simulation time -- need no conversion.  This is the single
+    source of truth for the write-canonicalisation formula shared by
+    the behaviour evaluator, the code generator and the SimIR backends
+    (:func:`canonical_source` renders the same arithmetic as Python
+    source text).
+    """
+    value &= mask(width)
+    if signed and value >= (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def canonical_source(value_source, width, signed):
+    """Python source text computing ``canonicalize(value_source, ...)``.
+
+    The emitted arithmetic must agree bit-for-bit with
+    :func:`canonicalize` for every integer input; the property tests
+    exercise the agreement exhaustively over small widths.
+    """
+    if signed:
+        half = 1 << (width - 1)
+        return "((%s + %d) & %d) - %d" % (
+            value_source, half, mask(width), half
+        )
+    return "(%s) & %d" % (value_source, mask(width))
+
+
 def saturate_signed(value, width):
     """Clamp ``value`` to the signed range of ``width`` bits.
 

@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 from repro.support.bitutils import (
     BitPattern,
     bit_length_for,
+    canonical_source,
+    canonicalize,
     extract_field,
     insert_field,
     mask,
@@ -100,6 +102,92 @@ class TestSaturate:
     def test_idempotent(self, width, value):
         once = saturate_signed(value, width)
         assert saturate_signed(once, width) == once
+
+
+class TestCanonicalise:
+    """The shared write-canonicalisation formula.
+
+    ``canonicalize`` is the single source of truth consumed by the
+    behaviour evaluator (via ``DType.canonical``); ``canonical_source``
+    renders the same arithmetic as Python source for the code
+    generator and the SimIR backends.  The two must agree bit-for-bit,
+    which is checked exhaustively over small widths.
+    """
+
+    def test_unsigned_masks(self):
+        assert canonicalize(0x1FF, 8, False) == 0xFF
+        assert canonicalize(-1, 8, False) == 0xFF
+        assert canonicalize(5, 8, False) == 5
+
+    def test_signed_wraps(self):
+        assert canonicalize(0xFF, 8, True) == -1
+        assert canonicalize(128, 8, True) == -128
+        assert canonicalize(127, 8, True) == 127
+        assert canonicalize(-129, 8, True) == 127
+
+    def test_exhaustive_source_agreement_small_widths(self):
+        """For every width 1..8, both signednesses, and every value in
+        a range spanning several wraps of the width, the rendered
+        source computes exactly ``canonicalize``."""
+        for width in range(1, 9):
+            for signed in (False, True):
+                fn = eval("lambda v: " +
+                          canonical_source("v", width, signed))
+                span = 1 << (width + 2)
+                for value in range(-span, span + 1):
+                    assert fn(value) == canonicalize(value, width, signed), (
+                        "width=%d signed=%r value=%d" % (width, signed, value)
+                    )
+
+    def test_matches_to_signed_to_unsigned(self):
+        for width in range(1, 9):
+            for value in range(-(1 << width), (1 << width) + 1):
+                assert canonicalize(value, width, False) == to_unsigned(
+                    value, width
+                )
+                assert canonicalize(value, width, True) == to_signed(
+                    to_unsigned(value, width), width
+                )
+
+    @given(st.integers(min_value=1, max_value=64), st.booleans(),
+           st.integers())
+    def test_idempotent_and_in_range(self, width, signed, value):
+        once = canonicalize(value, width, signed)
+        assert canonicalize(once, width, signed) == once
+        if signed:
+            assert -(1 << (width - 1)) <= once < (1 << (width - 1))
+        else:
+            assert 0 <= once <= mask(width)
+
+    @given(st.integers(min_value=1, max_value=64), st.booleans(),
+           st.integers())
+    def test_source_agreement_property(self, width, signed, value):
+        fn = eval("lambda v: " + canonical_source("v", width, signed))
+        assert fn(value) == canonicalize(value, width, signed)
+
+    def test_codegen_delegates(self):
+        """``canonical_write_source`` is a thin wrapper over
+        ``canonical_source`` keyed by the declared dtype."""
+        from repro.behavior.codegen import canonical_write_source
+        from repro.lisa.model import TYPES
+
+        for name in ("int8", "uint8", "int16", "uint32"):
+            dtype = TYPES[name]
+            assert canonical_write_source(dtype, "v") == canonical_source(
+                "v", dtype.width, dtype.signed
+            )
+
+    def test_dtype_delegates(self):
+        """``DType.canonical`` (the evaluator's write path) is the same
+        formula."""
+        from repro.lisa.model import TYPES
+
+        for name in ("int8", "uint16", "int32"):
+            dtype = TYPES[name]
+            for value in range(-300, 300):
+                assert dtype.canonical(value) == canonicalize(
+                    value, dtype.width, dtype.signed
+                )
 
 
 class TestFieldExtraction:
