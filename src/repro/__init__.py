@@ -40,6 +40,7 @@ from repro.api import (
     build_toolset,
     compile_lisa_file,
     compile_lisa_source,
+    load_checkpoint,
     load_model,
     list_models,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "build_toolset",
     "compile_lisa_file",
     "compile_lisa_source",
+    "load_checkpoint",
     "load_model",
     "list_models",
 ]

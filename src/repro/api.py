@@ -45,6 +45,18 @@ def open_cache(path=None, max_memory_entries=8):
     )
 
 
+def load_checkpoint(path):
+    """Load a simulation checkpoint file (see :mod:`repro.resilience`).
+
+    Returns a :class:`repro.resilience.checkpoint.Checkpoint`; pass it
+    to :meth:`repro.sim.base.Simulator.restore` (after loading the same
+    program) to resume, on any simulator kind.
+    """
+    from repro.resilience.checkpoint import Checkpoint
+
+    return Checkpoint.load(path)
+
+
 def compile_lisa_source(source, filename="<string>"):
     """Compile LISA source text into a machine-model data base."""
     return compile_source(source, filename)
@@ -125,7 +137,8 @@ class Toolset:
         return self._cache["simcc"]
 
     def new_simulator(self, kind="compiled", cache=None, jobs=None,
-                      verify_schedule=False, observer=None):
+                      verify_schedule=False, observer=None,
+                      on_self_modify=None):
         """Create a fresh simulator.
 
         ``kind`` is one of ``interpretive``, ``predecoded`` (compiled
@@ -139,12 +152,16 @@ class Toolset:
         falling back to dynamic scheduling on unproven windows.
         ``observer`` (see :func:`new_observer` / :mod:`repro.obs`)
         enables trace events, compile-phase spans and metrics.
+        ``on_self_modify`` arms the program-memory write guard with a
+        degradation policy (``error``, ``recompile`` or ``interpret``;
+        see :mod:`repro.resilience`).
         """
         from repro.sim import create_simulator
 
         return create_simulator(self.model, kind, cache=cache, jobs=jobs,
                                 verify_schedule=verify_schedule,
-                                observer=observer)
+                                observer=observer,
+                                on_self_modify=on_self_modify)
 
     def new_observer(self, program=None, **kwargs):
         """Create a :class:`repro.obs.Observer` for this model.

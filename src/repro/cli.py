@@ -31,7 +31,7 @@ import time
 
 from repro.api import build_toolset, compile_lisa_file, list_models, load_model
 from repro.sim import SIM_KINDS, create_simulator
-from repro.support.errors import ReproError
+from repro.support.errors import ReproError, SimulationTimeout
 from repro.tools.objfile import Program
 
 
@@ -277,6 +277,35 @@ def sim_main(argv=None):
         "back to dynamic scheduling when a pipeline window is not "
         "proven hazard-free",
     )
+    parser.add_argument(
+        "--on-self-modify", default="off",
+        choices=("off", "error", "recompile", "interpret"),
+        metavar="POLICY",
+        help="watch stores into program memory and degrade per POLICY: "
+        "'error' fails fast, 'recompile' incrementally re-compiles the "
+        "touched packets, 'interpret' serves them from an interpretive "
+        "fallback (default: off)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="CYCLES",
+        help="write a resumable checkpoint every CYCLES simulated "
+        "cycles (see --checkpoint-file)",
+    )
+    parser.add_argument(
+        "--checkpoint-file", metavar="PATH", default=None,
+        help="where to write checkpoints (default: PROGRAM.ckpt); also "
+        "written when a cycle or wall-clock budget expires",
+    )
+    parser.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help="restore a checkpoint written by a previous run (any "
+        "simulator kind) before running",
+    )
+    parser.add_argument(
+        "--max-wall-seconds", type=float, default=None, metavar="S",
+        help="abort (with a resumable checkpoint, exit code 3) after S "
+        "seconds of host wall-clock time",
+    )
     _add_trace_flags(parser)
     parser.add_argument(
         "--stats-json", metavar="PATH",
@@ -311,12 +340,57 @@ def sim_main(argv=None):
         simulator = create_simulator(
             model, args.kind, cache=cache, jobs=args.jobs,
             verify_schedule=args.verify_schedule, observer=observer,
+            on_self_modify=args.on_self_modify,
         )
         load_start = time.perf_counter()
         simulator.load_program(program)
         load_time = time.perf_counter() - load_start
+        if args.resume:
+            from repro.resilience.checkpoint import Checkpoint
+
+            checkpoint = Checkpoint.load(args.resume)
+            simulator.restore(checkpoint)
+            print(
+                "resumed from %s at cycle %d (taken under -k %s)"
+                % (args.resume, checkpoint.cycles, checkpoint.kind),
+                file=sys.stderr,
+            )
+        checkpoint_path = args.checkpoint_file
+        wants_checkpoints = bool(
+            checkpoint_path
+            or args.checkpoint_every
+            or args.max_wall_seconds is not None
+        )
+        if checkpoint_path is None:
+            checkpoint_path = args.program + ".ckpt"
+        budget = None
+        if args.checkpoint_every or args.max_wall_seconds is not None:
+            from repro.resilience.watchdog import RunBudget
+
+            budget = RunBudget(
+                max_wall_seconds=args.max_wall_seconds,
+                checkpoint_every=args.checkpoint_every,
+            )
+
+        def save_checkpoint(snapshot):
+            snapshot.save(checkpoint_path)
+
         run_start = time.perf_counter()
-        stats = simulator.run(args.max_cycles)
+        try:
+            stats = simulator.run(
+                args.max_cycles, budget=budget,
+                on_checkpoint=save_checkpoint if wants_checkpoints else None,
+            )
+        except SimulationTimeout as exc:
+            message = "error: %s\n" % exc
+            if wants_checkpoints and exc.checkpoint is not None:
+                exc.checkpoint.save(checkpoint_path)
+                message += (
+                    "checkpoint written to %s; resume with --resume %s\n"
+                    % (checkpoint_path, checkpoint_path)
+                )
+            _write_observer_outputs(observer, args, "repro-sim")
+            parser.exit(3, message)
         run_time = time.perf_counter() - run_start
         print(
             "halted after %d cycles, %d instructions (CPI %.2f)"

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Optional, Tuple
 
-from repro.support.errors import SimulationError
+from repro.support.errors import SimulationError, SimulationTimeout
 
 
 @dataclass(frozen=True)
@@ -96,7 +96,7 @@ class Pipeline:
 
     __slots__ = (
         "_model", "_state", "_control", "_frontend", "_pc_name",
-        "_depth", "_watcher", "_read_pc", "_write_pc", "slots",
+        "_depth", "_watcher", "_read_pc", "_write_pc", "slots", "pcs",
         "cycles", "instructions_retired", "_observer", "step",
     )
 
@@ -114,6 +114,10 @@ class Pipeline:
         self._read_pc = partial(getattr, state, self._pc_name)
         self._write_pc = partial(setattr, state, self._pc_name)
         self.slots = [None] * self._depth
+        # Issue addresses parallel to ``slots`` (None for bubbles):
+        # checkpointing captures this window and restore re-fetches it,
+        # so in-flight work survives a snapshot on any simulator kind.
+        self.pcs = [None] * self._depth
         self.cycles = 0
         self.instructions_retired = 0
         self._observer = None
@@ -142,31 +146,72 @@ class Pipeline:
 
     def reset(self):
         self.slots = [None] * self._depth
+        self.pcs = [None] * self._depth
         self.cycles = 0
         self.instructions_retired = 0
         self._control.reset()
+
+    @property
+    def window_pcs(self):
+        """Issue addresses of the in-flight window, stage 0 first."""
+        return tuple(self.pcs)
+
+    def wrap_frontend(self, wrapper):
+        """Replace the front-end with ``wrapper(current_frontend)``.
+
+        Used by the resilience layer to interpose the program-memory
+        write guard between the pipeline and the simulation table.
+        """
+        self._frontend = wrapper(self._frontend)
+
+    def restore_window(self, pcs, cycles, instructions_retired):
+        """Rebuild the in-flight window from checkpointed issue pcs.
+
+        The front-end is a pure function of (pc, program memory), so
+        re-fetching against restored memory reproduces the checkpointed
+        slots exactly -- on *any* simulator kind, which is what makes
+        checkpoints portable across kinds.
+        """
+        pcs = list(pcs)
+        if len(pcs) != self._depth:
+            raise SimulationError(
+                "checkpoint window depth %d does not match pipeline "
+                "depth %d" % (len(pcs), self._depth)
+            )
+        self.slots = [
+            None if pc is None else self._frontend(pc) for pc in pcs
+        ]
+        self.pcs = pcs
+        self.cycles = cycles
+        self.instructions_retired = instructions_retired
 
     def _step_plain(self):
         """Simulate one cycle (unhooked path; keep in sync with
         :meth:`_step_traced`)."""
         control = self._control
         slots = self.slots
+        pcs = self.pcs
 
         # -- advance ------------------------------------------------------
         retiring = slots.pop()
+        pcs.pop()
         if retiring is not None:
             self.instructions_retired += retiring.insn_count
         if control.halted:
             incoming = None
+            issue_pc = None
         elif control.stall_cycles > 0:
             control.stall_cycles -= 1
             incoming = None
+            issue_pc = None
         else:
             pc = self._read_pc()
             incoming = self._frontend(pc)
+            issue_pc = pc if incoming is not None else None
             if incoming is not None:
                 self._write_pc(pc + incoming.words)
         slots.insert(0, incoming)
+        pcs.insert(0, issue_pc)
 
         # -- execute (oldest first) + same-cycle flush ---------------------
         for stage in range(self._depth - 1, -1, -1):
@@ -175,6 +220,7 @@ class Pipeline:
                 continue
             if stage < control.flush_below:
                 slots[stage] = None
+                pcs[stage] = None
                 continue
             ops = slot.ops_by_stage[stage]
             if ops:
@@ -192,28 +238,34 @@ class Pipeline:
         :meth:`_step_plain`, plus event emission)."""
         control = self._control
         slots = self.slots
+        pcs = self.pcs
         observer = self._observer
 
         # -- advance ------------------------------------------------------
         retiring = slots.pop()
+        pcs.pop()
         if retiring is not None:
             self.instructions_retired += retiring.insn_count
         if control.halted:
             incoming = None
+            issue_pc = None
             observer.on_bubble(self.cycles, "drain")
         elif control.stall_cycles > 0:
             control.stall_cycles -= 1
             incoming = None
+            issue_pc = None
             observer.on_bubble(self.cycles, "stall")
         else:
             pc = self._read_pc()
             incoming = self._frontend(pc)
+            issue_pc = pc if incoming is not None else None
             if incoming is not None:
                 self._write_pc(pc + incoming.words)
                 observer.on_issue(self.cycles, pc, incoming)
             else:
                 observer.on_bubble(self.cycles, "frontend")
         slots.insert(0, incoming)
+        pcs.insert(0, issue_pc)
 
         # -- execute (oldest first) + same-cycle flush ---------------------
         squashed = 0
@@ -223,6 +275,7 @@ class Pipeline:
                 continue
             if stage < control.flush_below:
                 slots[stage] = None
+                pcs[stage] = None
                 squashed += 1
                 continue
             ops = slot.ops_by_stage[stage]
@@ -243,9 +296,25 @@ class Pipeline:
         start = self.cycles
         while not (self._control.halted and self.drained):
             if self.cycles - start >= max_cycles:
-                raise SimulationError(
+                raise SimulationTimeout(
                     "simulation exceeded %d cycles without halting"
-                    % max_cycles
+                    % max_cycles,
+                    budget="cycles", limit=max_cycles, cycles=self.cycles,
                 )
+            self.step()
+        return self.cycles - start
+
+    def run_chunk(self, cycles):
+        """Step for up to ``cycles`` cycles or until halted-and-drained.
+
+        The budgeted-run building block: never raises on exhausting the
+        chunk, just returns how many cycles actually ran, so callers can
+        interleave wall-clock checks and checkpoints at cycle
+        boundaries.
+        """
+        start = self.cycles
+        end = start + cycles
+        control = self._control
+        while self.cycles < end and not (control.halted and self.drained):
             self.step()
         return self.cycles - start

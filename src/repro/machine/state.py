@@ -142,6 +142,44 @@ class ProcessorState:
             snap[mem.name] = list(getattr(self, mem.name))
         return snap
 
+    def restore_snapshot(self, snap):
+        """Restore all architectural state from a :meth:`snapshot` dict.
+
+        Register files and memories are written *in place* (slice
+        assignment), so any wrapper installed over a storage list --
+        e.g. the resilience layer's guarded program memory -- and any
+        outstanding references stay valid across a restore.
+        """
+        for reg in self._register_defs.values():
+            if reg.name not in snap:
+                raise SimulationError(
+                    "snapshot is missing register %r" % reg.name
+                )
+            value = snap[reg.name]
+            if reg.is_file:
+                storage = getattr(self, reg.name)
+                if len(value) != len(storage):
+                    raise SimulationError(
+                        "snapshot register file %r has %d entries, "
+                        "expected %d" % (reg.name, len(value), len(storage))
+                    )
+                storage[:] = value
+            else:
+                setattr(self, reg.name, value)
+        for mem in self._memory_defs.values():
+            if mem.name not in snap:
+                raise SimulationError(
+                    "snapshot is missing memory %r" % mem.name
+                )
+            value = snap[mem.name]
+            storage = getattr(self, mem.name)
+            if len(value) != len(storage):
+                raise SimulationError(
+                    "snapshot memory %r has %d cells, expected %d"
+                    % (mem.name, len(value), len(storage))
+                )
+            storage[:] = value
+
     def differences(self, other):
         """Resource names whose contents differ between two states.
 

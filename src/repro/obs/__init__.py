@@ -51,17 +51,23 @@ from __future__ import annotations
 from repro.obs.events import (
     BUBBLE,
     CACHE,
+    CHECKPOINT,
     EVENT_KINDS,
     FALLBACK,
+    FAULT,
     FETCH,
     FLUSH,
+    GUARD_RESOLVE,
     HALT,
     HAZARD,
     MEM_WRITE,
     REG_WRITE,
+    RESTORE,
     RUN_END,
+    SELF_MODIFY,
     SQUASH,
     STALL,
+    TIMEOUT,
     Observer,
     TraceEvent,
 )
@@ -171,9 +177,11 @@ def opcode_labeler(model, program):
 
 
 __all__ = [
-    "BUBBLE", "CACHE", "EVENT_KINDS", "FALLBACK", "FETCH", "FLUSH",
+    "BUBBLE", "CACHE", "CHECKPOINT", "EVENT_KINDS", "FALLBACK", "FAULT",
+    "FETCH", "FLUSH", "GUARD_RESOLVE",
     "HALT", "HAZARD", "MEM_WRITE", "NULL_SINK", "NULL_SPAN", "REG_WRITE",
-    "RUN_END", "SQUASH", "STALL", "TRACE_FORMATS",
+    "RESTORE", "RUN_END", "SELF_MODIFY", "SQUASH", "STALL", "TIMEOUT",
+    "TRACE_FORMATS",
     "CallbackSink", "JsonLinesSink", "ListSink", "MetricsRegistry",
     "NullSink", "Observer", "Sink", "Span", "TraceEvent",
     "get_observer", "install", "opcode_labeler", "span", "text_summary",

@@ -42,10 +42,17 @@ REG_WRITE = "reg.write"      # checked register write
 MEM_WRITE = "mem.write"      # checked memory write
 CACHE = "cache"              # simulation-table cache lookup/store
 RUN_END = "run.end"          # simulator run finished
+SELF_MODIFY = "resilience.self_modify"  # store into compiled program memory
+GUARD_RESOLVE = "resilience.resolve"    # stale packet recompiled/interpreted
+CHECKPOINT = "resilience.checkpoint"    # checkpoint taken
+RESTORE = "resilience.restore"          # checkpoint restored
+TIMEOUT = "resilience.timeout"          # cycle/wall budget expired
+FAULT = "resilience.fault"              # injected fault (test harness)
 
 EVENT_KINDS = (
     FETCH, BUBBLE, SQUASH, STALL, FLUSH, HALT,
     FALLBACK, HAZARD, REG_WRITE, MEM_WRITE, CACHE, RUN_END,
+    SELF_MODIFY, GUARD_RESOLVE, CHECKPOINT, RESTORE, TIMEOUT, FAULT,
 )
 
 
@@ -205,6 +212,47 @@ class Observer:
     def on_cache(self, outcome, **args):
         self.metrics.bump("cache.outcomes", outcome)
         self.emit(CACHE, outcome=outcome, **args)
+
+    # -- resilience hooks ------------------------------------------------------
+
+    def on_self_modify(self, address, policy, invalidated):
+        """A store landed in (compiled) program memory."""
+        metrics = self.metrics
+        metrics.inc("resilience.self_mod_writes")
+        if invalidated:
+            metrics.inc("resilience.invalidated_packets", invalidated)
+        self.emit(
+            SELF_MODIFY, address=address, policy=policy,
+            invalidated=invalidated,
+        )
+
+    def on_guard_resolve(self, pc, action):
+        """A stale packet was degraded per policy at fetch time."""
+        metrics = self.metrics
+        metrics.bump("resilience.fallbacks_by_action", action)
+        if action == "recompile":
+            metrics.inc("resilience.recompiled_packets")
+        else:
+            metrics.inc("resilience.interpreted_fetches")
+        self.emit(GUARD_RESOLVE, pc=pc, action=action)
+
+    def on_checkpoint(self, cycles, kind, auto=False):
+        self.metrics.inc("resilience.checkpoints")
+        self.emit(CHECKPOINT, cycles=cycles, sim=kind, auto=auto)
+
+    def on_restore(self, cycles, kind):
+        self.metrics.inc("resilience.restores")
+        self.emit(RESTORE, cycles=cycles, sim=kind)
+
+    def on_timeout(self, budget, cycles, limit):
+        self.metrics.inc("resilience.timeouts")
+        self.metrics.bump("resilience.timeouts_by_budget", budget)
+        self.emit(TIMEOUT, budget=budget, cycles=cycles, limit=limit)
+
+    def on_fault(self, fault, **details):
+        self.metrics.inc("resilience.faults_injected")
+        self.metrics.bump("resilience.faults_by_kind", fault)
+        self.emit(FAULT, fault=fault, **details)
 
     # -- run finalisation ------------------------------------------------------
 

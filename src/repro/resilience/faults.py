@@ -1,0 +1,221 @@
+"""Deterministic fault injection for exercising the resilience paths.
+
+The degradation machinery (write guard, checkpoint recovery, cache
+quarantine, typed error annotation) is only trustworthy if every path
+has actually fired in a test.  This harness injects the faults those
+paths exist for, deterministically -- no randomness, every injection
+point is an explicit (cycle, action) pair or an explicit file
+corruption mode -- and logs each one (plus a ``resilience.fault`` trace
+event and ``resilience.faults_injected`` metric when an observer is
+attached).
+
+Fault classes:
+
+* **architectural bit flips**: :meth:`FaultInjector.flip_register_bit`,
+  :meth:`FaultInjector.flip_memory_bit`;
+* **self-modifying stores**: :meth:`FaultInjector.write_program_word`
+  routes through the checked state accessors, so it hits the guarded
+  program memory exactly like a behaviour-level store;
+* **decode faults**: :meth:`FaultInjector.decode_fault` patches the
+  decoder to raise for a chosen address;
+* **compile-phase faults**: :meth:`FaultInjector.compile_fault` makes
+  simulation compilation raise;
+* **cache corruption**: :meth:`FaultInjector.corrupt_cache_entry`
+  (truncation, bad magic, garbage bytes) and
+  :meth:`FaultInjector.spoof_cache_format` (a well-formed entry from a
+  different format version, which must be a *clean* miss, not
+  quarantine).
+
+:meth:`FaultInjector.run_with_faults` drives a simulator through a
+(cycle, action) plan, firing each action at its exact cycle boundary.
+"""
+
+from __future__ import annotations
+
+import marshal
+import os
+from contextlib import contextmanager
+
+from repro.support.errors import DecodeError, ReproError
+
+
+class FaultInjector:
+    """Deterministic fault injection with a structured log."""
+
+    def __init__(self, observer=None):
+        self.observer = observer
+        self.log = []
+
+    def _record(self, kind, **details):
+        self.log.append({"fault": kind, **details})
+        if self.observer is not None:
+            self.observer.on_fault(kind, **details)
+
+    # -- architectural faults ----------------------------------------------
+
+    def flip_register_bit(self, simulator, name, bit, index=None):
+        """XOR one bit of a register (file entry when ``index`` given)."""
+        value = simulator.state.read_register(name, index)
+        flipped = value ^ (1 << bit)
+        if index is None:
+            simulator.state.write_register(name, flipped)
+        else:
+            simulator.state.write_register(name, index, flipped)
+        self._record(
+            "register_bit_flip", register=name, index=index, bit=bit,
+            before=value, after=simulator.state.read_register(name, index),
+        )
+
+    def flip_memory_bit(self, simulator, memory, address, bit):
+        """XOR one bit of a memory cell (via the checked accessors)."""
+        value = simulator.state.read_memory(memory, address)
+        simulator.state.write_memory(memory, address, value ^ (1 << bit))
+        self._record(
+            "memory_bit_flip", memory=memory, address=address, bit=bit,
+            before=value,
+            after=simulator.state.read_memory(memory, address),
+        )
+
+    def write_program_word(self, simulator, address, value):
+        """Store an instruction word into program memory (an SMC event).
+
+        Goes through ``ProcessorState.write_memory``, i.e. through the
+        guarded storage when a write guard is armed -- the same path a
+        behaviour-level store takes.
+        """
+        pmem = simulator.model.config.program_memory
+        before = simulator.state.read_memory(pmem, address)
+        simulator.state.write_memory(pmem, address, value)
+        self._record(
+            "program_write", memory=pmem, address=address,
+            before=before, after=value,
+        )
+
+    # -- toolchain faults ---------------------------------------------------
+
+    @contextmanager
+    def decode_fault(self, address=None, message="injected decode fault"):
+        """Make ``InstructionDecoder.decode`` raise (for one address, or
+        for every address when ``address`` is None) inside the block."""
+        from repro.coding.decoder import InstructionDecoder
+
+        original = InstructionDecoder.decode
+        injector = self
+        fault_address = address
+
+        def faulty(self, word, address=None):
+            if fault_address is None or address == fault_address:
+                injector._record(
+                    "decode_fault", address=address, word=word,
+                )
+                raise DecodeError(message)
+            return original(self, word, address=address)
+
+        InstructionDecoder.decode = faulty
+        try:
+            yield self
+        finally:
+            InstructionDecoder.decode = original
+
+    @contextmanager
+    def compile_fault(self, message="injected compile fault"):
+        """Make simulation compilation raise inside the block."""
+        from repro.simcc.compiler import SimulationCompiler
+
+        original = SimulationCompiler.compile
+        injector = self
+
+        def faulty(self, *args, **kwargs):
+            injector._record("compile_fault")
+            raise ReproError(message)
+
+        SimulationCompiler.compile = faulty
+        try:
+            yield self
+        finally:
+            SimulationCompiler.compile = original
+
+    # -- cache faults -------------------------------------------------------
+
+    def corrupt_cache_entry(self, cache, model, program, level="sequenced",
+                            mode="truncate"):
+        """Damage the on-disk cache entry for (model, program, level).
+
+        ``mode``:
+
+        * ``truncate`` -- keep only the first few bytes (torn write),
+        * ``magic`` -- clobber the magic line (foreign file),
+        * ``garbage`` -- replace the payload with junk bytes (bit rot).
+
+        Returns the entry path.  Raises :class:`ReproError` when no
+        entry exists (the test would silently pass otherwise).
+        """
+        from repro.simcc.cache import _MAGIC, table_digest
+
+        digest = table_digest(model, program, level)
+        path = cache.entry_path(digest)
+        if not os.path.exists(path):
+            raise ReproError("no cache entry to corrupt at %s" % path)
+        if mode == "truncate":
+            with open(path, "rb") as handle:
+                head = handle.read(len(_MAGIC) + 4)
+            with open(path, "wb") as handle:
+                handle.write(head)
+        elif mode == "magic":
+            with open(path, "r+b") as handle:
+                handle.write(b"XXXX")
+        elif mode == "garbage":
+            with open(path, "wb") as handle:
+                handle.write(_MAGIC + b"\x00garbage\xff" * 16)
+        else:
+            raise ReproError("unknown cache corruption mode %r" % mode)
+        self._record("cache_corruption", mode=mode, path=path)
+        return path
+
+    def spoof_cache_format(self, cache, model, program, level="sequenced",
+                           format_version=0):
+        """Replace an entry with a well-formed one of another format.
+
+        The reader must treat this as a *clean* miss (an entry written
+        by a different tool version), not as corruption: no quarantine
+        counter, file left in place.
+        """
+        from repro.simcc.cache import _MAGIC, table_digest
+
+        digest = table_digest(model, program, level)
+        path = cache.entry_path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {
+            "meta": {"format": format_version, "digest": digest},
+            "table": None,
+        }
+        with open(path, "wb") as handle:
+            handle.write(_MAGIC + marshal.dumps(payload))
+        self._record(
+            "cache_format_spoof", format=format_version, path=path,
+        )
+        return path
+
+    # -- plan-driven runs ---------------------------------------------------
+
+    def run_with_faults(self, simulator, plan, max_cycles=50_000_000):
+        """Run ``simulator`` firing ``plan`` actions at exact cycles.
+
+        ``plan`` is an iterable of ``(cycle, action)`` pairs; each
+        ``action`` is called with the simulator once the engine reaches
+        that cycle (actions beyond the program's natural end never
+        fire).  Returns :class:`repro.sim.base.SimulationStats` from the
+        final ``run``.
+        """
+        engine = simulator.engine
+        for cycle, action in sorted(plan, key=lambda item: item[0]):
+            while (
+                engine.cycles < cycle
+                and not simulator.halted
+                and engine.cycles < max_cycles
+            ):
+                engine.step()
+            if simulator.halted:
+                break
+            action(simulator)
+        return simulator.run(max_cycles=max_cycles)

@@ -1,0 +1,496 @@
+"""Program-memory write guard: self-modifying code under compiled simulation.
+
+Compiled simulation bakes decode and sequencing results into the
+simulation table at simulation-compile time.  A program that writes into
+its own program memory invalidates that work: the table still holds the
+*old* instruction's behaviours, so the simulation silently diverges from
+the interpretive reference.  The guard closes this coherence hole:
+
+* program-memory storage is wrapped in :class:`GuardedMemory`, a list
+  subclass whose ``__setitem__`` notifies the guard (generated and
+  interpreted behaviour code writes resources through plain list item
+  assignment, so every store path is covered);
+* the guard maps each written address to the issue packets whose encoding
+  covers it and marks those packets *stale*;
+* the engine's front-end is wrapped so a fetch of a stale packet
+  degrades per policy instead of executing stale behaviours:
+
+  ``error``
+      raise a typed :class:`repro.support.errors.StaleTableError` at the
+      *write* (fail fast, the conservative default semantics),
+  ``recompile``
+      re-decode just the touched packet from live program memory through
+      the existing simulation-compiler pipeline (and cache) and patch the
+      simulation table in place,
+  ``interpret``
+      serve the stale region from an interpretive fetch-decode-execute
+      fallback while the rest of the program keeps its compiled speed.
+
+Every degradation is observable: ``resilience.self_mod_writes``,
+``resilience.invalidated_packets``, ``resilience.recompiled_packets``
+and ``resilience.interpreted_fetches`` metrics plus
+``resilience.self_modify`` / ``resilience.resolve`` trace events.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.behavior.evaluator import EvalContext, execute_behavior
+from repro.machine.driver import IssueSlot, trap_slot
+from repro.machine.packets import packet_extent
+from repro.machine.schedule import build_schedule
+from repro.support.errors import (
+    DecodeError,
+    ReproError,
+    SimulationError,
+    StaleTableError,
+)
+from repro.tools.objfile import Program
+
+GUARD_POLICIES = ("error", "recompile", "interpret")
+
+
+class GuardedMemory(list):
+    """Program-memory storage that notifies the guard on item stores.
+
+    A plain ``list`` subclass so that *reads* (the hot fetch path and all
+    behaviour loads) keep native list speed; only ``__setitem__`` pays
+    for the hook, and only a single attribute load + None check when no
+    guard is armed.
+    """
+
+    __slots__ = ("on_write",)
+
+    def __init__(self, iterable=()):
+        list.__init__(self, iterable)
+        self.on_write = None
+
+    def __setitem__(self, index, value):
+        list.__setitem__(self, index, value)
+        hook = self.on_write
+        if hook is not None:
+            hook(index)
+
+
+class ProgramMemoryGuard:
+    """Watches stores into the program region and degrades per policy.
+
+    One guard serves one loaded program on one simulator; it is re-armed
+    by ``Simulator.load_program``.  The kind-specific coupling (how to
+    enumerate packets, how to invalidate and re-materialise them) lives
+    in a small *target* adapter supplied by the simulator -- see
+    :class:`TableGuardTarget`, :class:`PredecodedGuardTarget` and
+    :class:`CoherentGuardTarget` below.
+    """
+
+    def __init__(self, simulator, policy):
+        if policy not in GUARD_POLICIES:
+            raise ReproError(
+                "unknown self-modify policy %r (choose from %s)"
+                % (policy, ", ".join(GUARD_POLICIES))
+            )
+        self.simulator = simulator
+        self.policy = policy
+        self.stale = set()
+        self.stats = {
+            "program_writes": 0,
+            "self_mod_writes": 0,
+            "invalidated_packets": 0,
+            "recompiled_packets": 0,
+            "interpreted_fetches": 0,
+        }
+        model = simulator.model
+        self._pmem_name = model.config.program_memory
+        self._depth = model.pipeline.depth
+        self._target = None
+        self._engine = None
+        # address -> set of packet issue pcs whose encoding covers it
+        self._covering = {}
+        # packet issue pc -> words covered (for incremental re-covering)
+        self._extent_of = {}
+        self._suspended = False
+        # lazy interpretive fallback machinery (policy "interpret")
+        self._decoder = None
+        self._eval_ctx = None
+
+    @property
+    def observer(self):
+        # Read through to the simulator so attach_observer on the
+        # simulator is immediately visible here too.
+        return self.simulator.observer
+
+    # -- arming ------------------------------------------------------------
+
+    def attach(self, target, engine):
+        """Arm the guard: wrap storage, build the cover map, interpose."""
+        self._target = target
+        self._engine = engine
+        self._wrap_memory()
+        self._covering = {}
+        self._extent_of = {}
+        for pc, words in target.packet_map().items():
+            self._cover(pc, words)
+        engine.wrap_frontend(self._make_frontend)
+        return self
+
+    def disarm(self):
+        """Stop watching writes (the front-end wrapper stays, inert)."""
+        storage = getattr(self.simulator.state, self._pmem_name, None)
+        if isinstance(storage, GuardedMemory):
+            storage.on_write = None
+        self.stale.clear()
+
+    def _wrap_memory(self):
+        state = self.simulator.state
+        storage = getattr(state, self._pmem_name)
+        if not isinstance(storage, GuardedMemory):
+            storage = GuardedMemory(storage)
+            # Generated/interpreted behaviour code resolves the storage
+            # attribute on every access, so the swap is visible to all
+            # already-compiled behaviours immediately.
+            setattr(state, self._pmem_name, storage)
+        storage.on_write = self._on_write
+
+    def _cover(self, pc, words):
+        old = self._extent_of.get(pc)
+        if old is not None:
+            for address in range(pc, pc + old):
+                pcs = self._covering.get(address)
+                if pcs is not None:
+                    pcs.discard(pc)
+        self._extent_of[pc] = words
+        for address in range(pc, pc + words):
+            self._covering.setdefault(address, set()).add(pc)
+
+    # -- the write path ----------------------------------------------------
+
+    def _on_write(self, index):
+        if self._suspended:
+            return
+        if isinstance(index, slice):
+            storage = getattr(self.simulator.state, self._pmem_name)
+            for address in range(*index.indices(len(storage))):
+                self._note_write(address)
+        else:
+            self._note_write(index)
+
+    def _note_write(self, address):
+        self.stats["program_writes"] += 1
+        pcs = self._covering.get(address)
+        if not pcs:
+            return  # a data store that happens to live in program memory
+        self.stats["self_mod_writes"] += 1
+        coherent = self._target.coherent
+        fresh = (
+            []
+            if coherent
+            else sorted(pc for pc in pcs if pc not in self.stale)
+        )
+        observer = self.observer
+        if observer is not None:
+            observer.on_self_modify(address, self.policy, len(fresh))
+        if coherent:
+            return  # e.g. interpretive: re-decodes every fetch anyway
+        if self.policy == "error":
+            raise StaleTableError(
+                "store to program memory address 0x%x invalidates "
+                "compiled packet(s) at %s; rerun with "
+                "--on-self-modify recompile|interpret or use the "
+                "interpretive simulator"
+                % (
+                    address,
+                    ", ".join("0x%x" % pc for pc in sorted(pcs)),
+                ),
+                address=address,
+                pcs=sorted(pcs),
+            )
+        if fresh:
+            self.stats["invalidated_packets"] += len(fresh)
+            self.stale.update(fresh)
+        # Invalidate on *every* self-modifying write, not just the first
+        # for a packet: under the interpret policy packets stay stale,
+        # and a repeat write must still flush engine-side memoisation
+        # (interned static transitions) built from the previous decode.
+        self._target.invalidate(sorted(pcs))
+
+    # -- the fetch path ----------------------------------------------------
+
+    def _make_frontend(self, base):
+        stale = self.stale
+        resolve = self._resolve
+
+        def guarded_frontend(pc):
+            if pc in stale:
+                return resolve(pc)
+            return base(pc)
+
+        return guarded_frontend
+
+    def _resolve(self, pc):
+        observer = self.observer
+        if self.policy == "recompile":
+            slot, updates = self._target.refresh(pc)
+            for updated_pc, words in updates.items():
+                self._cover(updated_pc, words)
+                self.stale.discard(updated_pc)
+            self.stats["recompiled_packets"] += 1
+            if observer is not None:
+                observer.on_guard_resolve(pc, "recompile")
+            return slot
+        slot = self._interpret(pc)
+        self.stats["interpreted_fetches"] += 1
+        if observer is not None:
+            observer.on_guard_resolve(pc, "interpret")
+        return slot
+
+    def _interpret(self, pc):
+        """Interpretive fetch-decode-schedule over *live* program memory.
+
+        Mirrors ``InterpretiveSimulator._fetch_decode``; the packet stays
+        stale, so every fetch of it re-decodes -- correct for regions the
+        program keeps rewriting.
+        """
+        simulator = self.simulator
+        model = simulator.model
+        state = simulator.state
+        pmem = getattr(state, self._pmem_name)
+        size = len(pmem)
+        if pc < 0 or pc >= size:
+            return trap_slot(
+                model,
+                "instruction fetch outside program memory (pc=0x%x)" % pc,
+            )
+        if self._decoder is None:
+            from repro.coding.decoder import InstructionDecoder
+
+            self._decoder = InstructionDecoder(model)
+            self._eval_ctx = EvalContext(state, simulator.control, model)
+        extent = packet_extent(model, pmem.__getitem__, pc, size)
+        ctx = self._eval_ctx
+        stages = [[] for _ in range(self._depth)]
+        for address in range(pc, pc + extent):
+            try:
+                node = self._decoder.decode(pmem[address], address=address)
+            except DecodeError as exc:
+                return trap_slot(model, str(exc))
+            for item in build_schedule(node, model):
+                stages[item.stage].append(
+                    partial(
+                        execute_behavior, item.behavior.statements,
+                        item.node, ctx,
+                    )
+                )
+        return IssueSlot(
+            ops_by_stage=tuple(tuple(stage) for stage in stages),
+            words=extent,
+            insn_count=extent,
+        )
+
+    # -- checkpoint/restore coupling ---------------------------------------
+
+    def suspend(self):
+        """Stop classifying writes (used while a restore rewrites state)."""
+        self._suspended = True
+
+    def resync(self):
+        """Re-derive staleness after a state restore.
+
+        Any program-memory cell that differs from the loaded program
+        image is treated as a (replayed) self-modifying write, so a
+        checkpoint taken after an SMC event restores with the same
+        stale set -- including raising under the ``error`` policy.
+        """
+        self._suspended = False
+        simulator = self.simulator
+        program = simulator.program
+        if program is None:
+            return
+        pmem = getattr(simulator.state, self._pmem_name)
+        canonical = simulator.model.memories[self._pmem_name].dtype.canonical
+        for segment in program.segments_in(self._pmem_name):
+            for offset, word in enumerate(segment.words):
+                address = segment.base + offset
+                if pmem[address] != canonical(word):
+                    self._note_write(address)
+
+
+class TableGuardTarget:
+    """Guard coupling for the simulation-table kinds.
+
+    Serves ``compiled``, ``unfolded``, ``static`` and
+    ``unfolded_static`` simulators: packets come from
+    ``SimulationTable.slots`` and a refresh runs the touched region back
+    through the simulation compiler (reusing the cache when one is
+    attached), patching the table in place.
+    """
+
+    coherent = False
+
+    def __init__(self, simulator, engine):
+        self._sim = simulator
+        self._engine = engine
+        pmem_name = simulator.model.config.program_memory
+        self._pmem_name = pmem_name
+        self._ranges = [
+            (segment.base, segment.end)
+            for segment in simulator.program.segments_in(pmem_name)
+        ]
+
+    def packet_map(self):
+        return {
+            pc: slot.words for pc, slot in self._sim.table.slots.items()
+        }
+
+    def invalidate(self, pcs):
+        # Static composition (and level-3 column fusion) read per-pc
+        # metadata and IR straight from the table, which is stale until
+        # refreshed; flag the packets so every window containing them
+        # takes the dynamically-composed path, which executes the live
+        # (guard-resolved) slots.  A later refresh() restores the flags.
+        table = self._sim.table
+        for pc in pcs:
+            table.has_control[pc] = True
+            if table.schedule_safety is not None:
+                table.schedule_safety[pc] = "unknown"
+        # Interned window transitions may embed the stale slots; throw
+        # the memoised transitions away so every subsequent window is
+        # re-fetched through the guarded front-end.
+        flush = getattr(self._engine, "flush_interned", None)
+        if flush is not None:
+            flush()
+
+    def refresh(self, pc):
+        """Re-decode the packet at ``pc`` from live memory; patch table."""
+        sim = self._sim
+        state = sim.state
+        pmem = getattr(state, self._pmem_name)
+        limit = self._segment_limit(pc, len(pmem))
+        extent = packet_extent(sim.model, pmem.__getitem__, pc, limit)
+        words = [int(word) for word in pmem[pc:pc + extent]]
+        patch = Program(name="<recompile:0x%x>" % pc, entry=pc)
+        patch.add_segment(self._pmem_name, pc, words)
+        if sim.cache is not None:
+            mini = sim.cache.load_table(
+                sim._simcc, patch, state, sim.control,
+                level=sim.level, observer=sim.observer,
+            )
+        else:
+            mini = sim._simcc.compile(
+                patch, state, sim.control, level=sim.level,
+                observer=sim.observer,
+            )
+        updates = self._merge(mini)
+        return sim.table.slots[pc], updates
+
+    def _merge(self, mini):
+        table = self._sim.table
+        updates = {}
+        for pc, slot in mini.slots.items():
+            table.slots[pc] = slot
+            table.has_control[pc] = mini.has_control.get(pc, True)
+            if table.schedule_safety is not None:
+                # The incremental compile cannot see cross-packet hazards
+                # against untouched neighbours, so force these packets
+                # onto the dynamically-composed path.
+                table.schedule_safety[pc] = "unknown"
+            if table.items_by_stage is not None and mini.items_by_stage:
+                items = mini.items_by_stage.get(pc)
+                if items is not None:
+                    table.items_by_stage[pc] = items
+            if table.ir_by_stage is not None and mini.ir_by_stage:
+                ir = mini.ir_by_stage.get(pc)
+                if ir is not None:
+                    table.ir_by_stage[pc] = ir
+            updates[pc] = slot.words
+        return updates
+
+    def _segment_limit(self, pc, default):
+        for base, end in self._ranges:
+            if base <= pc < end:
+                return end
+        return default
+
+
+class PredecodedGuardTarget:
+    """Guard coupling for the predecoded simulator.
+
+    Packets are per-address decode nodes plus extents; a refresh simply
+    re-decodes the touched words into the node map.
+    """
+
+    coherent = False
+
+    def __init__(self, simulator, engine):
+        self._sim = simulator
+        self._engine = engine
+        pmem_name = simulator.model.config.program_memory
+        self._pmem_name = pmem_name
+        self._ranges = [
+            (segment.base, segment.end)
+            for segment in simulator.program.segments_in(pmem_name)
+        ]
+
+    def packet_map(self):
+        return dict(self._sim._extents)
+
+    def invalidate(self, pcs):
+        pass
+
+    def refresh(self, pc):
+        sim = self._sim
+        pmem = getattr(sim.state, self._pmem_name)
+        limit = self._segment_limit(pc, len(pmem))
+        extent = packet_extent(sim.model, pmem.__getitem__, pc, limit)
+        updates = {}
+        for address in range(pc, pc + extent):
+            sim._nodes[address] = sim._decoder.decode(
+                pmem[address], address=address
+            )
+        for address in range(pc, pc + extent):
+            member_extent = packet_extent(
+                sim.model, pmem.__getitem__, address, limit
+            )
+            sim._extents[address] = member_extent
+            updates[address] = member_extent
+        return sim._fetch(pc), updates
+
+    def _segment_limit(self, pc, default):
+        for base, end in self._ranges:
+            if base <= pc < end:
+                return end
+        return default
+
+
+class CoherentGuardTarget:
+    """Guard coupling for simulators that re-decode on every fetch.
+
+    The interpretive simulator is always coherent with program memory,
+    so nothing needs invalidating -- but the guard still *classifies*
+    and counts self-modifying writes, which keeps metrics comparable
+    across kinds (and lets tests assert the reference also saw the SMC
+    event).
+    """
+
+    coherent = True
+
+    def __init__(self, simulator, engine):
+        self._sim = simulator
+        self._engine = engine
+
+    def packet_map(self):
+        program = self._sim.program
+        pmem_name = self._sim.model.config.program_memory
+        return {
+            address: 1
+            for segment in program.segments_in(pmem_name)
+            for address in range(segment.base, segment.end)
+        }
+
+    def invalidate(self, pcs):
+        pass
+
+    def refresh(self, pc):
+        raise SimulationError(
+            "coherent simulator should never resolve a stale packet"
+        )

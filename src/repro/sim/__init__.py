@@ -38,7 +38,8 @@ SIM_KINDS = (
 
 
 def create_simulator(model, kind="compiled", cache=None, jobs=None,
-                     verify_schedule=False, observer=None):
+                     verify_schedule=False, observer=None,
+                     on_self_modify=None):
     """Instantiate a simulator of the given ``kind`` for ``model``.
 
     ``cache`` (a :class:`repro.simcc.cache.SimulationCache`) and
@@ -50,32 +51,41 @@ def create_simulator(model, kind="compiled", cache=None, jobs=None,
     a pipeline window is not proven hazard-free.  ``observer`` (a
     :class:`repro.obs.Observer`) enables trace events, phase spans and
     metrics for this simulator; omitted, the process-wide observer
-    installed via :func:`repro.obs.install` applies.
+    installed via :func:`repro.obs.install` applies.  ``on_self_modify``
+    arms the program-memory write guard with the given degradation
+    policy -- ``"error"``, ``"recompile"`` or ``"interpret"`` (see
+    :mod:`repro.resilience.guard`); ``None``/``"off"`` runs unguarded.
     """
     if kind == "interpretive":
-        return InterpretiveSimulator(model, observer=observer)
-    if kind == "predecoded":
-        return PredecodedSimulator(model, observer=observer)
-    if kind == "compiled":
-        return CompiledSimulator(model, level="sequenced",
-                                 cache=cache, jobs=jobs, observer=observer)
-    if kind == "unfolded":
-        return CompiledSimulator(model, level="instantiated",
-                                 cache=cache, jobs=jobs, observer=observer)
-    if kind == "static":
-        return StaticScheduledSimulator(model, level="sequenced",
-                                        cache=cache, jobs=jobs,
-                                        verify_schedule=verify_schedule,
-                                        observer=observer)
-    if kind == "unfolded_static":
-        return StaticScheduledSimulator(model, level="instantiated",
-                                        cache=cache, jobs=jobs,
-                                        verify_schedule=verify_schedule,
-                                        observer=observer)
-    raise ReproError(
-        "unknown simulator kind %r (expected one of %s)"
-        % (kind, ", ".join(SIM_KINDS))
-    )
+        simulator = InterpretiveSimulator(model, observer=observer)
+    elif kind == "predecoded":
+        simulator = PredecodedSimulator(model, observer=observer)
+    elif kind == "compiled":
+        simulator = CompiledSimulator(model, level="sequenced",
+                                      cache=cache, jobs=jobs,
+                                      observer=observer)
+    elif kind == "unfolded":
+        simulator = CompiledSimulator(model, level="instantiated",
+                                      cache=cache, jobs=jobs,
+                                      observer=observer)
+    elif kind == "static":
+        simulator = StaticScheduledSimulator(model, level="sequenced",
+                                             cache=cache, jobs=jobs,
+                                             verify_schedule=verify_schedule,
+                                             observer=observer)
+    elif kind == "unfolded_static":
+        simulator = StaticScheduledSimulator(model, level="instantiated",
+                                             cache=cache, jobs=jobs,
+                                             verify_schedule=verify_schedule,
+                                             observer=observer)
+    else:
+        raise ReproError(
+            "unknown simulator kind %r (expected one of %s)"
+            % (kind, ", ".join(SIM_KINDS))
+        )
+    if on_self_modify not in (None, "off"):
+        simulator.enable_write_guard(on_self_modify)
+    return simulator
 
 
 __all__ = [

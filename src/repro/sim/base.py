@@ -9,7 +9,12 @@ from dataclasses import dataclass
 from repro import obs as _obs
 from repro.machine.control import PipelineControl
 from repro.machine.state import ProcessorState
-from repro.support.errors import SimulationError
+from repro.support.errors import (
+    ReproError,
+    SimulationError,
+    SimulationTimeout,
+    annotate_simulation_error,
+)
 
 
 @dataclass(frozen=True)
@@ -84,6 +89,8 @@ class Simulator:
         self.program = None
         self._engine = None
         self._wall_seconds = 0.0
+        self._guard_policy = None
+        self.guard = None
         self.observer = (
             observer if observer is not None else _obs.get_observer()
         )
@@ -127,6 +134,9 @@ class Simulator:
             self._engine = self._build_engine(program)
             if observer is not None:
                 self._engine.set_observer(observer)
+            self.guard = None
+            if self._guard_policy is not None:
+                self._arm_guard()
         self._wall_seconds = 0.0
         return self
 
@@ -145,19 +155,149 @@ class Simulator:
             raise SimulationError("no program loaded")
         return self._engine
 
+    # -- resilience: write guard ----------------------------------------------
+
+    def enable_write_guard(self, policy):
+        """Watch stores into program memory; degrade per ``policy``.
+
+        ``policy`` is ``"error"``, ``"recompile"`` or ``"interpret"``
+        (see :mod:`repro.resilience.guard`); ``None``/``"off"`` disarms.
+        May be called before or after :meth:`load_program` -- the guard
+        is (re)armed on every program load.  Returns the armed
+        :class:`~repro.resilience.guard.ProgramMemoryGuard` (or None
+        when disarming).
+        """
+        if policy in (None, "off"):
+            if self.guard is not None:
+                self.guard.disarm()
+            self._guard_policy = None
+            self.guard = None
+            return None
+        from repro.resilience.guard import GUARD_POLICIES
+
+        if policy not in GUARD_POLICIES:
+            raise ReproError(
+                "unknown self-modify policy %r (choose from %s)"
+                % (policy, ", ".join(GUARD_POLICIES))
+            )
+        self._guard_policy = policy
+        if self._engine is not None:
+            self._arm_guard()
+        return self.guard
+
+    def _arm_guard(self):
+        from repro.resilience.guard import ProgramMemoryGuard
+
+        guard = ProgramMemoryGuard(self, self._guard_policy)
+        self.guard = guard.attach(
+            self._guard_target(self._engine), self._engine
+        )
+
+    def _guard_target(self, engine):
+        raise SimulationError(
+            "simulator kind %r does not support the program-memory "
+            "write guard" % self.kind
+        )
+
+    # -- resilience: checkpoint / restore --------------------------------------
+
+    def checkpoint(self, auto=False):
+        """Snapshot the run into a portable, resumable
+        :class:`repro.resilience.checkpoint.Checkpoint`."""
+        from repro.resilience.checkpoint import Checkpoint
+
+        snapshot = Checkpoint.capture(self)
+        if self.observer is not None:
+            self.observer.on_checkpoint(
+                snapshot.cycles, self.kind, auto=auto
+            )
+        return snapshot
+
+    def restore(self, checkpoint):
+        """Resume from a checkpoint (possibly taken under another kind).
+
+        The currently loaded program and model must match the
+        checkpoint's digests (:class:`repro.support.errors.CheckpointError`
+        otherwise).  Architectural state is restored in place, pipeline
+        control is re-established, and the in-flight window is re-fetched
+        through this kind's own front-end -- so execution continues
+        bit-exactly from the snapshot on *any* simulator kind.
+        """
+        engine = self.engine
+        checkpoint.validate_for(self)
+        guard = self.guard
+        if guard is not None:
+            guard.suspend()
+        self.state.restore_snapshot(checkpoint.state)
+        self.control.reset()
+        self.control.halted = checkpoint.halted
+        self.control.stall_cycles = checkpoint.stall_cycles
+        if guard is not None:
+            guard.resync()
+        engine.restore_window(
+            checkpoint.window, checkpoint.cycles, checkpoint.instructions
+        )
+        self._wall_seconds = checkpoint.wall_seconds
+        if self.observer is not None:
+            self.observer.on_restore(checkpoint.cycles, self.kind)
+        return self
+
     # -- running ---------------------------------------------------------------
 
     def step(self):
         """Simulate a single cycle."""
         self.engine.step()
 
-    def run(self, max_cycles=50_000_000):
-        """Run to completion; returns :class:`SimulationStats`."""
+    def run(self, max_cycles=50_000_000, budget=None, on_checkpoint=None):
+        """Run to completion; returns :class:`SimulationStats`.
+
+        ``budget`` (a :class:`repro.resilience.watchdog.RunBudget`)
+        additionally bounds the run by wall-clock time and/or cycles and
+        can take periodic autosnapshots, delivered to ``on_checkpoint``.
+        Budget exhaustion raises a typed
+        :class:`repro.support.errors.SimulationTimeout` carrying the
+        position and a checkpoint to :meth:`restore` from; any other
+        mid-run :class:`ReproError` is annotated with the cycle count
+        and fetch PC before propagating.
+        """
         start = time.perf_counter()
+        counted = False
+
+        def _count():
+            nonlocal counted
+            if not counted:
+                self._wall_seconds += time.perf_counter() - start
+                counted = True
+
+        engine = self.engine
         try:
-            self.engine.run(max_cycles)
+            if budget is None:
+                engine.run(max_cycles)
+            else:
+                from repro.resilience.watchdog import run_with_budget
+
+                run_with_budget(
+                    self, engine, max_cycles, budget, on_checkpoint
+                )
+        except SimulationTimeout as exc:
+            _count()
+            if exc.pc is None:
+                exc.pc = self.state.pc
+            if exc.checkpoint is None:
+                try:
+                    exc.checkpoint = self.checkpoint()
+                except ReproError:
+                    pass  # resumability is best-effort on a timeout
+            if self.observer is not None:
+                self.observer.on_timeout(exc.budget, exc.cycles, exc.limit)
+            raise
+        except ReproError as exc:
+            _count()
+            raise annotate_simulation_error(
+                exc, cycles=engine.cycles, pc=self.state.pc
+            )
         finally:
-            self._wall_seconds += time.perf_counter() - start
+            _count()
         stats = self.stats
         if self.observer is not None:
             self.observer.finish_run(self, stats)
@@ -171,15 +311,31 @@ class Simulator:
         fired, False when the program halted first.
         """
         engine = self.engine
-        for _ in range(max_cycles):
-            if predicate(self):
-                return True
-            if self.halted:
-                return False
-            engine.step()
-        raise SimulationError(
-            "run_until exceeded %d cycles" % max_cycles
+        try:
+            for _ in range(max_cycles):
+                if predicate(self):
+                    return True
+                if self.halted:
+                    return False
+                engine.step()
+        except ReproError as exc:
+            raise annotate_simulation_error(
+                exc, cycles=engine.cycles, pc=self.state.pc
+            )
+        timeout = SimulationTimeout(
+            "run_until exceeded %d cycles" % max_cycles,
+            budget="cycles", limit=max_cycles, cycles=engine.cycles,
+            pc=self.state.pc,
         )
+        try:
+            timeout.checkpoint = self.checkpoint()
+        except ReproError:
+            pass
+        if self.observer is not None:
+            self.observer.on_timeout(
+                timeout.budget, timeout.cycles, timeout.limit
+            )
+        raise timeout
 
     def run_to_pc(self, pc, max_cycles=50_000_000):
         """Run until the next fetch address reaches ``pc`` (breakpoint).

@@ -47,6 +47,11 @@ class CompiledSimulator(Simulator):
     def cache(self):
         return self._cache
 
+    def _guard_target(self, engine):
+        from repro.resilience.guard import TableGuardTarget
+
+        return TableGuardTarget(self, engine)
+
     def _build_engine(self, program):
         # Simulation compilation happens here, at load time.
         if self._cache is not None:

@@ -31,6 +31,11 @@ class InterpretiveSimulator(Simulator):
         self._pmem_name = model.config.program_memory
         self._pmem_size = model.memories[self._pmem_name].size
 
+    def _guard_target(self, engine):
+        from repro.resilience.guard import CoherentGuardTarget
+
+        return CoherentGuardTarget(self, engine)
+
     def _build_engine(self, program):
         return Pipeline(
             self.model, self.state, self.control, self._fetch_decode

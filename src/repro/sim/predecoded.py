@@ -31,6 +31,11 @@ class PredecodedSimulator(Simulator):
         self._extents = {}
         self._ctx = None
 
+    def _guard_target(self, engine):
+        from repro.resilience.guard import PredecodedGuardTarget
+
+        return PredecodedGuardTarget(self, engine)
+
     def _build_engine(self, program):
         # Compile-time decoding: one pass over the program image.
         self._nodes = {}

@@ -41,7 +41,7 @@ from functools import partial
 from repro.sim.base import Simulator
 from repro.simcc import ir
 from repro.simcc.generator import generate_simulation_compiler
-from repro.support.errors import SimulationError
+from repro.support.errors import SimulationError, SimulationTimeout
 
 
 class _WindowNode:
@@ -117,11 +117,58 @@ class StaticPipeline:
     def drained(self):
         return self._node.empty
 
+    @property
+    def window_pcs(self):
+        """Issue addresses of the in-flight window, stage 0 first."""
+        return tuple(self._node.pcs)
+
     def reset(self):
         self._node = self._root
         self.cycles = 0
         self.instructions_retired = 0
         self._control.reset()
+
+    def wrap_frontend(self, wrapper):
+        """Replace the front-end with ``wrapper(current_frontend)`` (the
+        resilience write guard interposes here); flushes the interned
+        window graph so cached transitions cannot bypass the wrapper."""
+        self._frontend = wrapper(self._frontend)
+        self.flush_interned()
+
+    def flush_interned(self):
+        """Drop every interned window and cached transition.
+
+        Called after simulation-table entries are invalidated (self-
+        modifying code): interned nodes hold pre-fetched slots and
+        pre-composed columns, so future transitions must re-fetch
+        through the (guarded) front-end.  The current in-flight window
+        keeps its already-fetched slots -- matching hardware, where
+        instructions past fetch execute the code that was fetched.
+        """
+        for node in self._interned.values():
+            node.next.clear()
+        self._node.next.clear()
+        self._interned = {}
+        depth = self._depth
+        self._root = self._intern((None,) * depth, (None,) * depth)
+
+    def restore_window(self, pcs, cycles, instructions_retired):
+        """Rebuild the in-flight window from checkpointed issue pcs by
+        replaying the fetches through the (pure) front-end -- see
+        :meth:`repro.machine.driver.Pipeline.restore_window`."""
+        pcs = tuple(pcs)
+        if len(pcs) != self._depth:
+            raise SimulationError(
+                "checkpoint window depth %d does not match pipeline "
+                "depth %d" % (len(pcs), self._depth)
+            )
+        node = self._root
+        for pc in reversed(pcs):  # oldest instruction advances first
+            slot = None if pc is None else self._frontend(pc)
+            node = self._advance_node(node, pc, slot)
+        self._node = node
+        self.cycles = cycles
+        self.instructions_retired = instructions_retired
 
     # -- interning --------------------------------------------------------------
 
@@ -305,10 +352,22 @@ class StaticPipeline:
         start = self.cycles
         while not (self._control.halted and self.drained):
             if self.cycles - start >= max_cycles:
-                raise SimulationError(
+                raise SimulationTimeout(
                     "simulation exceeded %d cycles without halting"
-                    % max_cycles
+                    % max_cycles,
+                    budget="cycles", limit=max_cycles, cycles=self.cycles,
                 )
+            self.step()
+        return self.cycles - start
+
+    def run_chunk(self, cycles):
+        """Step for up to ``cycles`` cycles or until halted-and-drained;
+        returns the cycles actually run (see
+        :meth:`repro.machine.driver.Pipeline.run_chunk`)."""
+        start = self.cycles
+        end = start + cycles
+        control = self._control
+        while self.cycles < end and not (control.halted and self.drained):
             self.step()
         return self.cycles - start
 
@@ -351,6 +410,15 @@ class StaticScheduledSimulator(Simulator):
     @property
     def level(self):
         return self._level
+
+    @property
+    def cache(self):
+        return self._cache
+
+    def _guard_target(self, engine):
+        from repro.resilience.guard import TableGuardTarget
+
+        return TableGuardTarget(self, engine)
 
     def _build_engine(self, program):
         if self._cache is not None:

@@ -67,3 +67,79 @@ class LinkError(ReproError):
 
 class SimulationError(ReproError):
     """Run-time error inside a simulator (bad memory access, deadlock...)."""
+
+
+class SimulationTimeout(SimulationError):
+    """A cycle or wall-clock budget expired before the program halted.
+
+    Subclasses :class:`SimulationError` so existing ``except`` clauses
+    keep working.  Carries enough context to resume instead of losing
+    the simulation: ``budget`` names the exhausted budget (``"cycles"``
+    or ``"wall"``), ``limit`` its configured value, ``cycles`` the
+    simulated-cycle position, ``pc`` the next fetch address and
+    ``checkpoint`` (attached by :meth:`repro.sim.base.Simulator.run`) a
+    :class:`repro.resilience.checkpoint.Checkpoint` the caller can
+    :meth:`~repro.sim.base.Simulator.restore` from.
+    """
+
+    def __init__(self, message, budget="cycles", limit=None, cycles=None,
+                 pc=None, checkpoint=None):
+        self.budget = budget
+        self.limit = limit
+        self.cycles = cycles
+        self.pc = pc
+        self.checkpoint = checkpoint
+        super().__init__(message)
+
+
+class StaleTableError(SimulationError):
+    """The program wrote into already-compiled program memory.
+
+    Raised by the program-memory write guard under the ``error`` policy:
+    the simulation table was built at simulation-compile time and the
+    store just invalidated part of it.  ``address`` is the written
+    program-memory cell, ``pcs`` the packet start addresses whose table
+    entries went stale.
+    """
+
+    def __init__(self, message, address=None, pcs=()):
+        self.address = address
+        self.pcs = tuple(pcs)
+        super().__init__(message)
+
+
+class CheckpointError(SimulationError):
+    """A checkpoint cannot be taken, loaded or restored (corrupt file,
+    format mismatch, or a snapshot from a different model/program)."""
+
+
+def annotate_simulation_error(exc, cycles=None, pc=None):
+    """Attach run-position context to an error raised mid-simulation.
+
+    A ``DecodeError`` or behaviour trap escaping 40M cycles into a run
+    is undiagnosable without knowing *when* it happened; this stamps the
+    cycle count and fetch PC onto the exception (``sim_cycles`` /
+    ``sim_pc`` attributes) and appends them to the rendered message.
+    Idempotent -- the first annotation wins -- and type-preserving, so
+    existing ``except`` clauses are unaffected.
+    """
+    if not isinstance(exc, ReproError):
+        return exc
+    if isinstance(exc, SimulationTimeout):
+        return exc  # carries its own position context
+    if getattr(exc, "sim_cycles", None) is not None:
+        return exc
+    exc.sim_cycles = cycles
+    exc.sim_pc = pc
+    parts = []
+    if cycles is not None:
+        parts.append("cycle %d" % cycles)
+    if pc is not None:
+        parts.append("pc=0x%x" % pc)
+    if parts:
+        suffix = " [%s]" % ", ".join(parts)
+        if exc.args:
+            exc.args = (str(exc.args[0]) + suffix,) + tuple(exc.args[1:])
+        else:
+            exc.args = (suffix.strip(),)
+    return exc

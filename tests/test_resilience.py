@@ -1,0 +1,417 @@
+"""Tests for the resilience layer: write guard, watchdog, fault harness.
+
+The load-bearing property: a self-modifying program must reach the same
+final state on every compiled simulator kind (under the ``recompile``
+and ``interpret`` degradation policies) as on the interpretive
+reference subjected to the *same* injected fault -- and must fail fast
+with a typed :class:`StaleTableError` under the ``error`` policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.resilience import FaultInjector, RunBudget
+from repro.sim import SIM_KINDS, create_simulator
+from repro.simcc.cache import SimulationCache
+from repro.support.errors import (
+    DecodeError,
+    ReproError,
+    SimulationError,
+    SimulationTimeout,
+    StaleTableError,
+)
+
+COMPILED_KINDS = tuple(k for k in SIM_KINDS if k != "interpretive")
+TABLE_KINDS = ("compiled", "static", "unfolded", "unfolded_static")
+
+# A loop whose body is patched mid-run: the instruction at ``patch:``
+# is rewritten from ``ldi r3, 1`` to ``ldi r3, 2`` after a few
+# iterations, changing the accumulated result in dmem[7].
+SMC_SOURCE = """
+        ldi r1, 4
+        ldi r5, 255
+loop:   add r2, r2, r1
+patch:  ldi r3, 1
+        add r2, r2, r3
+        add r1, r1, r5
+        brnz r1, loop
+        st r2, 7
+        halt
+"""
+
+PATCH_CYCLE = 6
+
+
+@pytest.fixture(scope="module")
+def smc_program(testmodel_tools):
+    return testmodel_tools.assembler.assemble_text(SMC_SOURCE, name="smc")
+
+
+@pytest.fixture(scope="module")
+def patch_word(testmodel_tools):
+    """The encoding of the replacement instruction ``ldi r3, 2``."""
+    patched = testmodel_tools.assembler.assemble_text("ldi r3, 2")
+    return patched.segments_in("pmem")[0].words[0]
+
+
+def _run_with_patch(model, kind, policy, program, word, observer=None,
+                    cache=None, repatch=None):
+    simulator = create_simulator(
+        model, kind, observer=observer, cache=cache, on_self_modify=policy
+    )
+    simulator.load_program(program)
+    injector = FaultInjector(observer=observer)
+    patch_pc = program.symbols["patch"]
+    plan = [
+        (PATCH_CYCLE,
+         lambda sim: injector.write_program_word(sim, patch_pc, word)),
+    ]
+    if repatch is not None:
+        cycle, value = repatch
+        plan.append(
+            (cycle,
+             lambda sim: injector.write_program_word(sim, patch_pc, value))
+        )
+    stats = injector.run_with_faults(simulator, plan, max_cycles=10_000)
+    return simulator, stats
+
+
+@pytest.fixture(scope="module")
+def smc_reference(testmodel, smc_program, patch_word):
+    """Interpretive run with the same injected patch: the golden state."""
+    simulator, stats = _run_with_patch(
+        testmodel, "interpretive", "interpret", smc_program, patch_word
+    )
+    snapshot = simulator.state.snapshot()
+    # The patch must actually change the result, or the agreement tests
+    # below would pass vacuously.
+    unpatched = create_simulator(testmodel, "interpretive")
+    unpatched.load_program(smc_program)
+    unpatched.run(max_cycles=10_000)
+    assert snapshot != unpatched.state.snapshot()
+    return stats.cycles, snapshot
+
+
+class TestSelfModifyingCode:
+    @pytest.mark.parametrize("policy", ["recompile", "interpret"])
+    @pytest.mark.parametrize("kind", COMPILED_KINDS)
+    def test_degraded_run_matches_interpretive(
+        self, testmodel, smc_program, patch_word, smc_reference,
+        kind, policy,
+    ):
+        ref_cycles, ref_snapshot = smc_reference
+        simulator, stats = _run_with_patch(
+            testmodel, kind, policy, smc_program, patch_word
+        )
+        assert stats.cycles == ref_cycles
+        assert simulator.state.snapshot() == ref_snapshot
+        guard = simulator.guard
+        assert guard.stats["self_mod_writes"] == 1
+        assert guard.stats["invalidated_packets"] >= 1
+        if policy == "recompile":
+            assert guard.stats["recompiled_packets"] >= 1
+            assert guard.stats["interpreted_fetches"] == 0
+        else:
+            assert guard.stats["interpreted_fetches"] >= 1
+            assert guard.stats["recompiled_packets"] == 0
+
+    @pytest.mark.parametrize("kind", TABLE_KINDS)
+    def test_error_policy_raises_typed(
+        self, testmodel, smc_program, patch_word, kind
+    ):
+        simulator = create_simulator(testmodel, kind, on_self_modify="error")
+        simulator.load_program(smc_program)
+        injector = FaultInjector()
+        patch_pc = smc_program.symbols["patch"]
+        with pytest.raises(StaleTableError) as excinfo:
+            injector.run_with_faults(
+                simulator,
+                [(PATCH_CYCLE,
+                  lambda sim: injector.write_program_word(
+                      sim, patch_pc, patch_word))],
+                max_cycles=10_000,
+            )
+        assert excinfo.value.address == patch_pc
+        assert patch_pc in excinfo.value.pcs
+        assert isinstance(excinfo.value, SimulationError)
+
+    @pytest.mark.parametrize("kind", ["static", "unfolded_static"])
+    def test_repeat_patch_of_stale_packet(
+        self, testmodel, testmodel_tools, smc_program, patch_word, kind
+    ):
+        """A second write to an already-stale packet must still flush
+        engine-side memoisation (interned static transitions)."""
+        word_three = testmodel_tools.assembler.assemble_text(
+            "ldi r3, 3"
+        ).segments_in("pmem")[0].words[0]
+        reference, ref_stats = _run_with_patch(
+            testmodel, "interpretive", "interpret", smc_program, patch_word,
+            repatch=(PATCH_CYCLE + 10, word_three),
+        )
+        simulator, stats = _run_with_patch(
+            testmodel, kind, "interpret", smc_program, patch_word,
+            repatch=(PATCH_CYCLE + 10, word_three),
+        )
+        assert stats.cycles == ref_stats.cycles
+        assert simulator.state.snapshot() == reference.state.snapshot()
+
+    def test_data_write_into_program_memory_is_not_self_modifying(
+        self, testmodel, smc_program
+    ):
+        """Stores outside every known packet (scratch data placed in
+        program memory) must not trip the guard, even under ``error``."""
+        simulator = create_simulator(
+            testmodel, "compiled", on_self_modify="error"
+        )
+        simulator.load_program(smc_program)
+        simulator.state.write_memory("pmem", 200, 0x1234)
+        assert simulator.guard.stats["program_writes"] == 1
+        assert simulator.guard.stats["self_mod_writes"] == 0
+        stats = simulator.run(max_cycles=10_000)
+        assert stats.cycles > 0
+
+    def test_recompile_goes_through_cache(
+        self, testmodel, smc_program, patch_word, tmp_path
+    ):
+        cache = SimulationCache(tmp_path / "simtab")
+        simulator, _ = _run_with_patch(
+            testmodel, "compiled", "recompile", smc_program, patch_word,
+            cache=cache,
+        )
+        # Initial table plus at least one incremental patch table.
+        assert cache.stats["stores"] >= 2
+        assert simulator.guard.stats["recompiled_packets"] >= 1
+
+    def test_guard_metrics_reach_observer(
+        self, testmodel, smc_program, patch_word
+    ):
+        observer = obs.Observer()
+        _run_with_patch(
+            testmodel, "compiled", "interpret", smc_program, patch_word,
+            observer=observer,
+        )
+        counters = observer.snapshot()["counters"]
+        assert counters["resilience.self_mod_writes"] >= 1
+        assert counters["resilience.invalidated_packets"] >= 1
+        assert counters["resilience.interpreted_fetches"] >= 1
+        assert counters["resilience.faults_injected"] >= 1
+        kinds = [event.kind for event in observer.events]
+        assert obs.SELF_MODIFY in kinds
+        assert obs.GUARD_RESOLVE in kinds
+        assert obs.FAULT in kinds
+
+    def test_unknown_policy_rejected(self, testmodel):
+        simulator = create_simulator(testmodel, "compiled")
+        with pytest.raises(ReproError, match="policy"):
+            simulator.enable_write_guard("panic")
+
+    def test_unsupported_kind_has_clear_error(self, testmodel):
+        """The base class refuses kinds without a guard coupling."""
+        from repro.sim.base import Simulator
+
+        simulator = Simulator(testmodel)
+        with pytest.raises(SimulationError, match="write guard"):
+            simulator._guard_target(None)
+
+
+class TestWatchdog:
+    def test_run_raises_typed_timeout(self, testmodel, smc_program):
+        simulator = create_simulator(testmodel, "compiled")
+        simulator.load_program(smc_program)
+        with pytest.raises(SimulationTimeout) as excinfo:
+            simulator.run(max_cycles=5)
+        exc = excinfo.value
+        assert isinstance(exc, SimulationError)  # old except clauses work
+        assert exc.budget == "cycles"
+        assert exc.limit == 5
+        assert exc.cycles == 5
+        assert exc.pc is not None
+        assert exc.checkpoint is not None
+        assert exc.checkpoint.cycles == 5
+
+    def test_run_until_timeout_is_typed_and_resumable(
+        self, testmodel, smc_program
+    ):
+        simulator = create_simulator(testmodel, "static")
+        simulator.load_program(smc_program)
+        with pytest.raises(SimulationTimeout) as excinfo:
+            simulator.run_until(lambda sim: False, max_cycles=7)
+        exc = excinfo.value
+        assert exc.cycles == 7
+        assert exc.pc is not None
+        assert exc.checkpoint is not None and exc.checkpoint.cycles == 7
+
+    def test_wall_clock_budget(self, testmodel, smc_program):
+        simulator = create_simulator(testmodel, "compiled")
+        simulator.load_program(smc_program)
+        budget = RunBudget(max_wall_seconds=0.0, check_interval=4)
+        with pytest.raises(SimulationTimeout) as excinfo:
+            simulator.run(max_cycles=10_000, budget=budget)
+        exc = excinfo.value
+        assert exc.budget == "wall"
+        assert exc.limit == 0.0
+        assert exc.checkpoint is not None
+
+    def test_budget_cycle_limit_tighter_than_max_cycles(
+        self, testmodel, smc_program
+    ):
+        simulator = create_simulator(testmodel, "compiled")
+        simulator.load_program(smc_program)
+        with pytest.raises(SimulationTimeout) as excinfo:
+            simulator.run(
+                max_cycles=10_000, budget=RunBudget(max_cycles=6)
+            )
+        assert excinfo.value.cycles == 6
+
+    def test_unbudgeted_run_completes_unchanged(self, testmodel, smc_program):
+        simulator = create_simulator(testmodel, "compiled")
+        simulator.load_program(smc_program)
+        plain = simulator.run(max_cycles=10_000)
+        simulator.reset()
+        budgeted = simulator.run(
+            max_cycles=10_000, budget=RunBudget(max_cycles=10_000)
+        )
+        assert budgeted.cycles == plain.cycles
+        assert budgeted.instructions == plain.instructions
+
+    def test_timeout_metrics(self, testmodel, smc_program):
+        observer = obs.Observer()
+        simulator = create_simulator(
+            testmodel, "compiled", observer=observer
+        )
+        simulator.load_program(smc_program)
+        with pytest.raises(SimulationTimeout):
+            simulator.run(max_cycles=3)
+        snapshot = observer.snapshot()
+        assert snapshot["counters"]["resilience.timeouts"] == 1
+        families = snapshot["families"]
+        assert families["resilience.timeouts_by_budget"]["cycles"] == 1
+
+
+class TestErrorAnnotation:
+    BAD_BRANCH = """
+        ldi r1, 1
+        brnz r1, 40
+        halt
+"""
+
+    @pytest.mark.parametrize("kind", ["interpretive", "compiled", "static"])
+    def test_mid_run_trap_carries_cycle_and_pc(
+        self, testmodel, testmodel_tools, kind
+    ):
+        """A branch into unknown memory traps with position context."""
+        program = testmodel_tools.assembler.assemble_text(self.BAD_BRANCH)
+        simulator = create_simulator(testmodel, kind)
+        simulator.load_program(program)
+        with pytest.raises(SimulationError) as excinfo:
+            simulator.run(max_cycles=10_000)
+        exc = excinfo.value
+        assert not isinstance(exc, SimulationTimeout)
+        assert exc.sim_cycles is not None and exc.sim_cycles > 0
+        assert exc.sim_pc is not None
+        assert "cycle" in str(exc)
+
+    def test_annotation_is_idempotent(self):
+        from repro.support.errors import annotate_simulation_error
+
+        exc = SimulationError("boom")
+        annotate_simulation_error(exc, cycles=10, pc=4)
+        annotate_simulation_error(exc, cycles=99, pc=9)
+        assert exc.sim_cycles == 10
+        assert str(exc).count("cycle") == 1
+
+    def test_run_until_annotates_step_errors(
+        self, testmodel, testmodel_tools
+    ):
+        program = testmodel_tools.assembler.assemble_text(self.BAD_BRANCH)
+        simulator = create_simulator(testmodel, "compiled")
+        simulator.load_program(program)
+        with pytest.raises(SimulationError) as excinfo:
+            simulator.run_until(lambda sim: False, max_cycles=10_000)
+        assert excinfo.value.sim_cycles is not None
+
+
+class TestFaultInjector:
+    def test_register_bit_flip_changes_result(
+        self, testmodel, smc_program
+    ):
+        baseline = create_simulator(testmodel, "compiled")
+        baseline.load_program(smc_program)
+        baseline.run(max_cycles=10_000)
+
+        injector = FaultInjector()
+        victim = create_simulator(testmodel, "compiled")
+        victim.load_program(smc_program)
+        injector.run_with_faults(
+            victim,
+            [(8, lambda sim: injector.flip_register_bit(
+                sim, "R", bit=0, index=2))],
+            max_cycles=10_000,
+        )
+        assert victim.state.snapshot() != baseline.state.snapshot()
+        assert injector.log[0]["fault"] == "register_bit_flip"
+
+    def test_injection_is_deterministic(self, testmodel, smc_program):
+        def one_run():
+            injector = FaultInjector()
+            simulator = create_simulator(testmodel, "static")
+            simulator.load_program(smc_program)
+            stats = injector.run_with_faults(
+                simulator,
+                [(5, lambda sim: injector.flip_memory_bit(
+                    sim, "dmem", address=3, bit=2))],
+                max_cycles=10_000,
+            )
+            return stats.cycles, simulator.state.snapshot(), injector.log
+
+        first = one_run()
+        second = one_run()
+        assert first == second
+
+    def test_decode_fault_scoped_to_address(self, testmodel, smc_program):
+        injector = FaultInjector()
+        simulator = create_simulator(testmodel, "interpretive")
+        simulator.load_program(smc_program)
+        with injector.decode_fault(address=smc_program.symbols["patch"]):
+            with pytest.raises(SimulationError) as excinfo:
+                simulator.run(max_cycles=10_000)
+        assert "injected decode fault" in str(excinfo.value)
+        assert excinfo.value.sim_cycles is not None
+        assert any(f["fault"] == "decode_fault" for f in injector.log)
+        # the patch is gone once the context exits
+        simulator.reset()
+        simulator.run(max_cycles=10_000)
+
+    def test_decode_fault_raises_outside_simulation(self, testmodel_tools):
+        injector = FaultInjector()
+        with injector.decode_fault():
+            with pytest.raises(DecodeError):
+                testmodel_tools.decoder.decode(0x0000, address=0)
+
+    def test_compile_fault_fails_table_build(
+        self, testmodel, smc_program
+    ):
+        injector = FaultInjector()
+        simulator = create_simulator(testmodel, "compiled")
+        with injector.compile_fault():
+            with pytest.raises(ReproError, match="injected compile fault"):
+                simulator.load_program(smc_program)
+        assert injector.log[-1]["fault"] == "compile_fault"
+        # compilation works again once the context exits
+        simulator.load_program(smc_program)
+        simulator.run(max_cycles=10_000)
+
+    def test_plan_actions_fire_at_exact_cycles(self, testmodel, smc_program):
+        seen = []
+        injector = FaultInjector()
+        simulator = create_simulator(testmodel, "compiled")
+        simulator.load_program(smc_program)
+        injector.run_with_faults(
+            simulator,
+            [(4, lambda sim: seen.append(sim.cycles)),
+             (9, lambda sim: seen.append(sim.cycles))],
+            max_cycles=10_000,
+        )
+        assert seen == [4, 9]

@@ -341,3 +341,166 @@ class TestScheduleSafetyRoundTrip:
         namespace = {}
         exec(compile(source, "<emitted>", "exec"), namespace)
         assert namespace["SCHEDULE_SAFETY"] == portable.schedule_safety
+
+
+def _race_store(root, rounds):
+    """Worker for the concurrent-writer stress test (spawn-safe).
+
+    Rebuilds the model and program from source (code objects do not
+    pickle, so nothing compiled can cross the process boundary) and
+    hammers ``store_portable`` on the one shared content address.
+    """
+    model = compile_source(TESTMODEL_SOURCE, "testmodel.lisa")
+    from repro.api import build_toolset
+
+    program = build_toolset(model).assembler.assemble_text(PROGRAM_TEXT)
+    portable = build_portable_table(model, program)
+    cache = SimulationCache(root, max_memory_entries=0)
+    for _ in range(rounds):
+        cache.store_portable(model, program, "sequenced", portable)
+    if cache.stats["store_errors"]:
+        raise RuntimeError(
+            "store_errors=%d" % cache.stats["store_errors"]
+        )
+
+
+class TestConcurrentWriters:
+    """Two processes racing ``store_portable`` on the same digest must
+    never leave a torn entry: publication is atomic (write-to-temp then
+    rename), so a reader always sees either nothing or a full entry."""
+
+    def test_racing_stores_leave_coherent_entry(self, testmodel, program,
+                                                tmp_path):
+        import multiprocessing
+
+        root = str(tmp_path / "shared-simtab")
+        context = multiprocessing.get_context("spawn")
+        workers = [
+            context.Process(target=_race_store, args=(root, 12))
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+        for worker in workers:
+            assert not worker.is_alive(), "racing writer hung"
+            assert worker.exitcode == 0
+
+        # A fresh reader must get a clean disk hit -- no quarantine.
+        reader = SimulationCache(root, max_memory_entries=0)
+        table = _load(testmodel, program, reader)
+        assert reader.stats["disk_hits"] == 1
+        assert reader.stats["corrupt_entries"] == 0
+        assert reader.stats["misses"] == 0
+        assert table.word_count == 5
+
+        # The surviving entry runs bit-identically to a fresh compile.
+        reference = create_simulator(testmodel, "compiled")
+        reference.load_program(program)
+        reference.run()
+        cached = create_simulator(
+            testmodel, "compiled", cache=SimulationCache(root)
+        )
+        cached.load_program(program)
+        cached.run()
+        assert cached.state.differences(reference.state) == []
+
+    def test_interleaved_store_and_load_same_process(self, testmodel,
+                                                     program, tmp_path):
+        # Two handles on one root: one stores while the other reads.
+        root = tmp_path / "shared-simtab"
+        writer = SimulationCache(root, max_memory_entries=0)
+        reader = SimulationCache(root, max_memory_entries=0)
+        assert reader.load_portable(testmodel, program, "sequenced") is None
+        _load(testmodel, program, writer)
+        assert (
+            reader.load_portable(testmodel, program, "sequenced")
+            is not None
+        )
+        assert reader.stats["corrupt_entries"] == 0
+
+
+class TestFaultHarnessCorruption:
+    """Cache damage injected through ``repro.resilience.faults``.
+
+    Corruption (torn write, foreign file, bit rot) must quarantine:
+    ``corrupt_entries`` counts it and the load degrades to a clean
+    recompile.  A *format* mismatch is not corruption -- it is an entry
+    written by another tool version -- so it must read as a clean miss
+    with the file left alone.
+    """
+
+    @pytest.fixture
+    def injector(self):
+        from repro.resilience import FaultInjector
+
+        return FaultInjector()
+
+    @pytest.mark.parametrize("mode", ["truncate", "magic", "garbage"])
+    def test_corruption_quarantines_and_recovers(self, testmodel, program,
+                                                 cache, injector, mode):
+        import os
+
+        _load(testmodel, program, cache)
+        path = injector.corrupt_cache_entry(
+            cache, testmodel, program, mode=mode
+        )
+        reopened = SimulationCache(cache.root)
+        table = _load(testmodel, program, reopened)
+        assert reopened.stats["corrupt_entries"] == 1
+        assert reopened.stats["disk_hits"] == 0
+        assert reopened.stats["misses"] == 1
+        assert table.word_count == 5
+        # Quarantine unlinked the bad file; the recompile republished it.
+        assert reopened.stats["stores"] == 1
+        assert os.path.exists(path)
+        final = SimulationCache(cache.root)
+        _load(testmodel, program, final)
+        assert final.stats["disk_hits"] == 1
+        assert final.stats["corrupt_entries"] == 0
+
+    def test_corrupting_missing_entry_raises(self, testmodel, program,
+                                             cache, injector):
+        from repro.support.errors import ReproError
+
+        with pytest.raises(ReproError, match="no cache entry"):
+            injector.corrupt_cache_entry(cache, testmodel, program)
+
+    def test_format_spoof_is_clean_miss(self, testmodel, program, cache,
+                                        injector):
+        import os
+
+        path = injector.spoof_cache_format(
+            cache, testmodel, program, format_version=0
+        )
+        blob = open(path, "rb").read()
+        reopened = SimulationCache(cache.root, max_memory_entries=0)
+        assert reopened.load_portable(testmodel, program,
+                                      "sequenced") is None
+        assert reopened.stats["corrupt_entries"] == 0
+        assert reopened.stats["misses"] == 1
+        # The foreign-version entry is left exactly as written.
+        assert os.path.exists(path)
+        assert open(path, "rb").read() == blob
+
+    def test_future_format_is_clean_miss(self, testmodel, program, cache,
+                                         injector):
+        injector.spoof_cache_format(
+            cache, testmodel, program,
+            format_version=cache_mod.FORMAT_VERSION + 7,
+        )
+        reopened = SimulationCache(cache.root)
+        table = _load(testmodel, program, reopened)
+        assert reopened.stats["corrupt_entries"] == 0
+        assert reopened.stats["misses"] == 1
+        assert table.word_count == 5
+
+    def test_fault_log_records_cache_faults(self, testmodel, program,
+                                            cache, injector):
+        _load(testmodel, program, cache)
+        injector.corrupt_cache_entry(cache, testmodel, program,
+                                     mode="garbage")
+        injector.spoof_cache_format(cache, testmodel, program)
+        kinds = [entry["fault"] for entry in injector.log]
+        assert kinds == ["cache_corruption", "cache_format_spoof"]
