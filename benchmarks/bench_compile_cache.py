@@ -14,12 +14,10 @@ and the figure scripts can consume them.
 
 from __future__ import annotations
 
-import json
-import os
 import time
 
 from repro.bench import load_app_program
-from repro.bench.reporting import ExperimentReport, results_dir
+from repro.bench.reporting import ExperimentReport, publish_json
 from repro.sim import create_simulator
 from repro.simcc.cache import SimulationCache
 
@@ -92,10 +90,7 @@ def test_cache_warm_reload_speedup(benchmark, gsm_app, tmp_path):
         "speedup_memory": speedup_memory,
         "threshold": MIN_WARM_SPEEDUP,
     }
-    path = os.path.join(results_dir(), "BENCH_compile_cache.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    publish_json("BENCH_compile_cache.json", payload)
 
     assert speedup_disk >= MIN_WARM_SPEEDUP, (
         "warm disk reload %.3fs is only %.1fx faster than cold compile "

@@ -1,0 +1,128 @@
+"""Native C backend: burst execution speed vs the Python backends.
+
+The claim the tentpole stands on: rendering the post-pass SimIR to C
+and driving whole pipeline windows per call (one Python<->C crossing
+per burst instead of per cycle) buys at least an order of magnitude
+over the fastest Python path.  Measured on the paper's FIR workload
+(``e5-levels-c62x`` sizing): the native backend must run at least
+``MIN_NATIVE_SPEEDUP`` times faster than ``unfolded_static`` and
+clear ``MIN_NATIVE_CPS`` simulated cycles per second -- while staying
+bit-identical to both Python backends (the E4 accuracy bar).
+
+Writes ``BENCH_native_backend.json`` (canonical copy under
+``benchmarks/results/``, headline copy at the repository root).
+Skips cleanly when the host has no C compiler.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import load_app_program
+from repro.bench.reporting import ExperimentReport, publish_json
+from repro.sim import create_simulator
+from repro.simcc.native import native_available
+
+#: The acceptance bars from the issue: 10x over the fused static
+#: Python backend, and an absolute floor of 1e7 simulated cycles/s.
+MIN_NATIVE_SPEEDUP = 10.0
+MIN_NATIVE_CPS = 1.0e7
+
+#: (row label, simulator kind, backend) -- slowest first.
+VARIANTS = (
+    ("compiled", "compiled", "auto"),
+    ("unfolded_static", "unfolded_static", "auto"),
+    ("native", "unfolded_static", "native"),
+)
+
+
+def _best_run(model, program, kind, backend, rounds=3):
+    """Best-of-N timed run (load/compile time excluded, as everywhere
+    else in the suite: the paper's cycles/s figures are run-time only)."""
+    best = None
+    for _ in range(rounds):
+        simulator = create_simulator(model, kind, backend=backend)
+        simulator.load_program(program)
+        start = time.perf_counter()
+        stats = simulator.run()
+        seconds = time.perf_counter() - start
+        if best is None or seconds < best[2]:
+            best = (simulator, stats, seconds)
+    return best
+
+
+def test_native_burst_speed(benchmark, fir_app):
+    if not native_available():
+        pytest.skip("no usable C compiler on the host")
+    model, program = load_app_program(fir_app)
+
+    report = ExperimentReport(
+        "BENCH-native-backend",
+        "native C bursts vs Python backends, FIR workload",
+        "extends the paper's compiled-simulation speed claim (Section 4)",
+    )
+    rows = {}
+    reference_snapshot = None
+    for label, kind, backend in VARIANTS:
+        simulator, stats, seconds = _best_run(model, program, kind, backend)
+        fir_app.verify(simulator.state)
+        snapshot = simulator.state.snapshot()
+        if reference_snapshot is None:
+            reference_snapshot = (stats.cycles, snapshot)
+        else:
+            assert (stats.cycles, snapshot) == reference_snapshot, (
+                "%s diverges from the compiled reference" % label
+            )
+        cps = stats.cycles / seconds
+        rows[label] = dict(seconds=seconds, cycles=stats.cycles, cps=cps)
+        extra = {}
+        if backend == "native":
+            counts = simulator.engine.dispatch_counts
+            extra = dict(
+                bursts=counts["bursts"],
+                native_cycles=counts["native_cycles"],
+                python_cycles=counts["python_cycles"],
+            )
+        report.add_row(
+            variant=label, cycles=stats.cycles, seconds=seconds,
+            cycles_per_s=cps, **extra,
+        )
+
+    speedup = rows["native"]["cps"] / rows["unfolded_static"]["cps"]
+    report.add_row(
+        native_vs_unfolded_static=speedup,
+        bar_speedup=MIN_NATIVE_SPEEDUP,
+        bar_cps=MIN_NATIVE_CPS,
+    )
+    report.emit()
+
+    publish_json("BENCH_native_backend.json", {
+        "experiment": "native-backend",
+        "workload": fir_app.name,
+        "cycles": rows["native"]["cycles"],
+        "variants": rows,
+        "native_speedup_vs_unfolded_static": speedup,
+        "threshold_speedup": MIN_NATIVE_SPEEDUP,
+        "threshold_cycles_per_second": MIN_NATIVE_CPS,
+    })
+
+    assert speedup >= MIN_NATIVE_SPEEDUP, (
+        "native backend is only %.1fx over unfolded_static "
+        "(need >= %.0fx)" % (speedup, MIN_NATIVE_SPEEDUP)
+    )
+    assert rows["native"]["cps"] >= MIN_NATIVE_CPS, (
+        "native backend runs %.3g cycles/s (need >= %.1g)"
+        % (rows["native"]["cps"], MIN_NATIVE_CPS)
+    )
+
+    native = create_simulator(model, "unfolded_static", backend="native")
+    native.load_program(program)
+
+    def _rerun():
+        native.reset()
+        native.load_program(program)
+        return native.run()
+
+    benchmark.pedantic(_rerun, rounds=3, iterations=1)

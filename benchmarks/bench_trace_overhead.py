@@ -19,14 +19,12 @@ Writes ``BENCH_trace_overhead.json`` so CI can track the ratio.
 
 from __future__ import annotations
 
-import json
-import os
 import time
 from functools import partial
 
 from repro import obs
 from repro.bench import load_app_program
-from repro.bench.reporting import ExperimentReport, results_dir
+from repro.bench.reporting import ExperimentReport, publish_json
 from repro.sim import create_simulator
 from repro.support.errors import SimulationError
 
@@ -203,10 +201,7 @@ def test_trace_overhead(benchmark, fir_app):
         "full_trace_overhead_ratio": full_s / baseline_s,
         "threshold": MAX_DISABLED_OVERHEAD,
     }
-    path = os.path.join(results_dir(), "BENCH_trace_overhead.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    publish_json("BENCH_trace_overhead.json", payload)
 
     assert ratio <= MAX_DISABLED_OVERHEAD, (
         "disabled-observability FIR run %.4fs is %.3fx the "

@@ -138,7 +138,7 @@ class Toolset:
 
     def new_simulator(self, kind="compiled", cache=None, jobs=None,
                       verify_schedule=False, observer=None,
-                      on_self_modify=None):
+                      on_self_modify=None, backend="auto"):
         """Create a fresh simulator.
 
         ``kind`` is one of ``interpretive``, ``predecoded`` (compiled
@@ -154,14 +154,18 @@ class Toolset:
         enables trace events, compile-phase spans and metrics.
         ``on_self_modify`` arms the program-memory write guard with a
         degradation policy (``error``, ``recompile`` or ``interpret``;
-        see :mod:`repro.resilience`).
+        see :mod:`repro.resilience`).  ``backend`` (table-based kinds)
+        selects the execution backend -- ``auto``, ``python``,
+        ``module`` or ``native`` (compiled C bursts; falls back to the
+        Python path when no C toolchain is available).
         """
         from repro.sim import create_simulator
 
         return create_simulator(self.model, kind, cache=cache, jobs=jobs,
                                 verify_schedule=verify_schedule,
                                 observer=observer,
-                                on_self_modify=on_self_modify)
+                                on_self_modify=on_self_modify,
+                                backend=backend)
 
     def new_observer(self, program=None, **kwargs):
         """Create a :class:`repro.obs.Observer` for this model.

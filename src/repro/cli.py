@@ -30,7 +30,7 @@ import sys
 import time
 
 from repro.api import build_toolset, compile_lisa_file, list_models, load_model
-from repro.sim import SIM_KINDS, create_simulator
+from repro.sim import SIM_BACKENDS, SIM_KINDS, create_simulator
 from repro.support.errors import ReproError, SimulationTimeout
 from repro.tools.objfile import Program
 
@@ -239,6 +239,14 @@ def sim_main(argv=None):
         help="simulator kind (default: compiled)",
     )
     parser.add_argument(
+        "--backend", default="auto", choices=SIM_BACKENDS,
+        help="execution backend for the table-based kinds: 'native' "
+        "compiles proven packets to C and bursts whole pipeline "
+        "windows per call; when no C compiler is available it falls "
+        "back to the Python path (one native.fallback trace event, "
+        "exit status unchanged) rather than failing (default: auto)",
+    )
+    parser.add_argument(
         "--max-cycles", type=int, default=50_000_000,
         help="abort after this many cycles",
     )
@@ -251,6 +259,12 @@ def sim_main(argv=None):
         help="print the lowered, post-pass SimIR of every execute "
         "packet instead of simulating (for debugging retargeting "
         "issues)",
+    )
+    parser.add_argument(
+        "--dump-c", action="store_true",
+        help="print the C the native backend renders for every packet "
+        "instead of simulating (packets failing the native analysis "
+        "print their fallback reason; no C compiler required)",
     )
     parser.add_argument(
         "--stats", action="store_true", help="print timing statistics",
@@ -331,6 +345,11 @@ def sim_main(argv=None):
 
             dump_program_ir(model, program, stream=sys.stdout)
             return 0
+        if args.dump_c:
+            from repro.simcc.native import dump_program_c
+
+            dump_program_c(model, program, stream=sys.stdout)
+            return 0
         cache = None
         if args.cache_dir and not args.no_cache:
             from repro.simcc.cache import SimulationCache
@@ -340,7 +359,7 @@ def sim_main(argv=None):
         simulator = create_simulator(
             model, args.kind, cache=cache, jobs=args.jobs,
             verify_schedule=args.verify_schedule, observer=observer,
-            on_self_modify=args.on_self_modify,
+            on_self_modify=args.on_self_modify, backend=args.backend,
         )
         load_start = time.perf_counter()
         simulator.load_program(program)

@@ -61,6 +61,8 @@ from repro.obs.events import (
     HALT,
     HAZARD,
     MEM_WRITE,
+    NATIVE,
+    NATIVE_FALLBACK,
     REG_WRITE,
     RESTORE,
     RUN_END,
@@ -179,7 +181,8 @@ def opcode_labeler(model, program):
 __all__ = [
     "BUBBLE", "CACHE", "CHECKPOINT", "EVENT_KINDS", "FALLBACK", "FAULT",
     "FETCH", "FLUSH", "GUARD_RESOLVE",
-    "HALT", "HAZARD", "MEM_WRITE", "NULL_SINK", "NULL_SPAN", "REG_WRITE",
+    "HALT", "HAZARD", "MEM_WRITE", "NATIVE", "NATIVE_FALLBACK",
+    "NULL_SINK", "NULL_SPAN", "REG_WRITE",
     "RESTORE", "RUN_END", "SELF_MODIFY", "SQUASH", "STALL", "TIMEOUT",
     "TRACE_FORMATS",
     "CallbackSink", "JsonLinesSink", "ListSink", "MetricsRegistry",

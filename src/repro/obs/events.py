@@ -48,11 +48,14 @@ CHECKPOINT = "resilience.checkpoint"    # checkpoint taken
 RESTORE = "resilience.restore"          # checkpoint restored
 TIMEOUT = "resilience.timeout"          # cycle/wall budget expired
 FAULT = "resilience.fault"              # injected fault (test harness)
+NATIVE = "native"                       # native artifact outcome (hit/compile)
+NATIVE_FALLBACK = "native.fallback"     # native backend unavailable, degraded
 
 EVENT_KINDS = (
     FETCH, BUBBLE, SQUASH, STALL, FLUSH, HALT,
     FALLBACK, HAZARD, REG_WRITE, MEM_WRITE, CACHE, RUN_END,
     SELF_MODIFY, GUARD_RESOLVE, CHECKPOINT, RESTORE, TIMEOUT, FAULT,
+    NATIVE, NATIVE_FALLBACK,
 )
 
 
@@ -213,6 +216,18 @@ class Observer:
         self.metrics.bump("cache.outcomes", outcome)
         self.emit(CACHE, outcome=outcome, **args)
 
+    # -- native backend hooks --------------------------------------------------
+
+    def on_native(self, outcome, **args):
+        """A native artifact outcome (``hit``/``compile``/``load``)."""
+        self.metrics.bump("native.outcomes", outcome)
+        self.emit(NATIVE, outcome=outcome, **args)
+
+    def on_native_fallback(self, reason, **args):
+        """The native backend degraded to the Python module path."""
+        self.metrics.inc("native.fallbacks")
+        self.emit(NATIVE_FALLBACK, reason=reason, **args)
+
     # -- resilience hooks ------------------------------------------------------
 
     def on_self_modify(self, address, policy, invalidated):
@@ -278,6 +293,12 @@ class Observer:
         lookups = hits + outcomes.get("miss", 0)
         if lookups:
             metrics.set_gauge("cache.hit_rate", hits / lookups)
+        counts = getattr(
+            getattr(simulator, "_engine", None), "dispatch_counts", None
+        )
+        if counts:
+            for key, value in counts.items():
+                metrics.set_gauge("native.%s" % key, value)
         if self.labeler is not None:
             self._fold_opcode_counts()
         self.emit(

@@ -359,6 +359,13 @@ class TableGuardTarget:
         flush = getattr(self._engine, "flush_interned", None)
         if flush is not None:
             flush()
+        # Native burst artifacts encode the *old* micro-ops and cannot
+        # be patched in place: demote the touched packets to the Python
+        # path permanently (the refreshed table serves them there).
+        invalidate_native = getattr(self._engine, "invalidate_native",
+                                    None)
+        if invalidate_native is not None:
+            invalidate_native(sorted(pcs))
 
     def refresh(self, pc):
         """Re-decode the packet at ``pc`` from live memory; patch table."""

@@ -36,10 +36,18 @@ SIM_KINDS = (
     "unfolded_static",
 )
 
+#: Execution backends for the table-based kinds.  ``auto``/``python``
+#: run the in-process exec backend; ``module`` forces the portable-table
+#: (emitted-module) path; ``native`` additionally compiles proven
+#: packets to C and bursts whole pipeline windows per call, falling
+#: back to ``module`` behaviour (with one ``native.fallback`` event)
+#: when no C toolchain is available.
+SIM_BACKENDS = ("auto", "python", "module", "native")
+
 
 def create_simulator(model, kind="compiled", cache=None, jobs=None,
                      verify_schedule=False, observer=None,
-                     on_self_modify=None):
+                     on_self_modify=None, backend="auto"):
     """Instantiate a simulator of the given ``kind`` for ``model``.
 
     ``cache`` (a :class:`repro.simcc.cache.SimulationCache`) and
@@ -55,29 +63,46 @@ def create_simulator(model, kind="compiled", cache=None, jobs=None,
     arms the program-memory write guard with the given degradation
     policy -- ``"error"``, ``"recompile"`` or ``"interpret"`` (see
     :mod:`repro.resilience.guard`); ``None``/``"off"`` runs unguarded.
+    ``backend`` (table-based kinds only) selects the execution backend
+    (see :data:`SIM_BACKENDS`); ``native`` degrades gracefully to the
+    Python path when no C compiler is available -- it never errors.
     """
-    if kind == "interpretive":
-        simulator = InterpretiveSimulator(model, observer=observer)
-    elif kind == "predecoded":
-        simulator = PredecodedSimulator(model, observer=observer)
+    if backend not in SIM_BACKENDS:
+        raise ReproError(
+            "unknown simulation backend %r (expected one of %s)"
+            % (backend, ", ".join(SIM_BACKENDS))
+        )
+    if kind in ("interpretive", "predecoded"):
+        if backend not in ("auto", "python"):
+            raise ReproError(
+                "backend %r requires a table-based simulator kind "
+                "(compiled, static, unfolded or unfolded_static)"
+                % backend
+            )
+        if kind == "interpretive":
+            simulator = InterpretiveSimulator(model, observer=observer)
+        else:
+            simulator = PredecodedSimulator(model, observer=observer)
     elif kind == "compiled":
         simulator = CompiledSimulator(model, level="sequenced",
                                       cache=cache, jobs=jobs,
-                                      observer=observer)
+                                      observer=observer, backend=backend)
     elif kind == "unfolded":
         simulator = CompiledSimulator(model, level="instantiated",
                                       cache=cache, jobs=jobs,
-                                      observer=observer)
+                                      observer=observer, backend=backend)
     elif kind == "static":
         simulator = StaticScheduledSimulator(model, level="sequenced",
                                              cache=cache, jobs=jobs,
                                              verify_schedule=verify_schedule,
-                                             observer=observer)
+                                             observer=observer,
+                                             backend=backend)
     elif kind == "unfolded_static":
         simulator = StaticScheduledSimulator(model, level="instantiated",
                                              cache=cache, jobs=jobs,
                                              verify_schedule=verify_schedule,
-                                             observer=observer)
+                                             observer=observer,
+                                             backend=backend)
     else:
         raise ReproError(
             "unknown simulator kind %r (expected one of %s)"
@@ -90,6 +115,7 @@ def create_simulator(model, kind="compiled", cache=None, jobs=None,
 
 __all__ = [
     "SIM_KINDS",
+    "SIM_BACKENDS",
     "create_simulator",
     "Simulator",
     "InterpretiveSimulator",

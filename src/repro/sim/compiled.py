@@ -17,6 +17,54 @@ from repro.sim.base import Simulator
 from repro.simcc.generator import generate_simulation_compiler
 
 
+def build_simulation_table(simulator, program):
+    """Shared load-time table construction for the table-based kinds.
+
+    The cache path always rehydrates a *portable* table; without a
+    cache, the ``module``/``native`` backends also force the portable
+    path (portable tables are what the emitted module and the native
+    renderer consume), while ``auto``/``python`` compile directly.
+    """
+    if simulator._cache is not None:
+        return simulator._cache.load_table(
+            simulator._simcc, program, simulator.state, simulator.control,
+            level=simulator._level, jobs=simulator._jobs,
+            observer=simulator.observer,
+        )
+    if simulator.backend in ("module", "native"):
+        portable = simulator._simcc.compile_portable(
+            program, level=simulator._level, jobs=simulator._jobs,
+            observer=simulator.observer,
+        )
+        return portable.bind(simulator.state, simulator.control)
+    return simulator._simcc.compile(
+        program, simulator.state, simulator.control,
+        level=simulator._level, jobs=simulator._jobs,
+        observer=simulator.observer,
+    )
+
+
+def maybe_wrap_native(simulator, engine):
+    """Wrap ``engine`` for burst execution when backend is ``native``.
+
+    Degrades silently (plus one ``native.fallback`` event) to the
+    unwrapped engine when the native module cannot be built -- no C
+    toolchain, an unmappable model, or no packet passing the analysis.
+    """
+    if simulator.backend != "native":
+        return engine
+    from repro.simcc.native import NativePipeline, build_native_module
+
+    module = build_native_module(
+        simulator.model, simulator.table, cache=simulator._cache,
+        observer=simulator.observer,
+    )
+    if module is None:
+        return engine
+    return NativePipeline(engine, simulator.state, simulator.control,
+                          module)
+
+
 class CompiledSimulator(Simulator):
     """Compiled simulator.
 
@@ -24,15 +72,18 @@ class CompiledSimulator(Simulator):
     set, load-time simulation compilation is replaced by a cache lookup
     (compiling and storing on the first miss).  ``jobs`` fans a cold
     compile out over a worker pool (see :mod:`repro.simcc.parallel`).
+    ``backend`` selects the execution backend (see
+    :data:`repro.sim.SIM_BACKENDS`).
     """
 
     def __init__(self, model, level="sequenced", cache=None, jobs=None,
-                 observer=None):
+                 observer=None, backend="auto"):
         super().__init__(model, observer=observer)
         self._level = level
         self._simcc = generate_simulation_compiler(model, validate=False)
         self._cache = cache
         self._jobs = jobs
+        self.backend = backend
         self.table = None
 
     @property
@@ -54,18 +105,9 @@ class CompiledSimulator(Simulator):
 
     def _build_engine(self, program):
         # Simulation compilation happens here, at load time.
-        if self._cache is not None:
-            self.table = self._cache.load_table(
-                self._simcc, program, self.state, self.control,
-                level=self._level, jobs=self._jobs,
-                observer=self.observer,
-            )
-        else:
-            self.table = self._simcc.compile(
-                program, self.state, self.control, level=self._level,
-                jobs=self._jobs, observer=self.observer,
-            )
-        return Pipeline(
+        self.table = build_simulation_table(self, program)
+        engine = Pipeline(
             self.model, self.state, self.control,
             self.table.make_frontend(self.model),
         )
+        return maybe_wrap_native(self, engine)

@@ -389,13 +389,14 @@ class StaticScheduledSimulator(Simulator):
     """
 
     def __init__(self, model, level="sequenced", cache=None, jobs=None,
-                 verify_schedule=False, observer=None):
+                 verify_schedule=False, observer=None, backend="auto"):
         super().__init__(model, observer=observer)
         self._level = level
         self._simcc = generate_simulation_compiler(model, validate=False)
         self._cache = cache
         self._jobs = jobs
         self._verify_schedule = verify_schedule
+        self.backend = backend
         self.table = None
         self._column_counter = 0
         self._backend = ir.PythonExecBackend()
@@ -421,25 +422,21 @@ class StaticScheduledSimulator(Simulator):
         return TableGuardTarget(self, engine)
 
     def _build_engine(self, program):
-        if self._cache is not None:
-            self.table = self._cache.load_table(
-                self._simcc, program, self.state, self.control,
-                level=self._level, jobs=self._jobs,
-                observer=self.observer,
-            )
-        else:
-            self.table = self._simcc.compile(
-                program, self.state, self.control, level=self._level,
-                jobs=self._jobs, observer=self.observer,
-            )
+        from repro.sim.compiled import (
+            build_simulation_table,
+            maybe_wrap_native,
+        )
+
+        self.table = build_simulation_table(self, program)
         column_compiler = None
         if self._level == "instantiated":
             column_compiler = self._compile_column
-        return StaticPipeline(
+        engine = StaticPipeline(
             self.model, self.state, self.control, self.table,
             column_compiler=column_compiler,
             verify_schedule=self._verify_schedule,
         )
+        return maybe_wrap_native(self, engine)
 
     def _compile_column(self, pcs, slots):
         """Fuse a whole pipeline column into one generated function.

@@ -46,7 +46,9 @@ from repro.simcc.portable import PortableTable
 #: Bump when the entry layout or the portable-table payload changes.
 #: 2: portable tables carry per-packet ``schedule_safety`` verdicts.
 #: 3: portable tables store SimIR payloads instead of source text.
-FORMAT_VERSION = 3
+#: 4: native burst artifacts (.c source + shared object + metadata)
+#:    ride alongside portable tables; older entries are clean misses.
+FORMAT_VERSION = 4
 
 _MAGIC = b"repro-simtab\n"
 
@@ -136,6 +138,9 @@ class SimulationCache:
             "stores": 0,
             "store_errors": 0,
             "corrupt_entries": 0,
+            "native_hits": 0,
+            "native_misses": 0,
+            "native_stores": 0,
         }
 
     # -- high-level entry point ---------------------------------------------
@@ -211,6 +216,68 @@ class SimulationCache:
 
         return emit_simulator_module(model, program, level=level, jobs=jobs,
                                      cache=self)
+
+    # -- native burst artifacts ---------------------------------------------
+
+    def native_root(self):
+        """Directory for native backend artifacts (versioned namespace)."""
+        return os.path.join(self.root, _version_tag(), "native")
+
+    def _native_paths(self, key):
+        base = os.path.join(self.native_root(), key[:2], key[2:])
+        return base + ".c", base + ".so", base + ".json"
+
+    def load_native_artifact(self, key, compiler_id):
+        """Paths of a valid cached native artifact, or ``None``.
+
+        An artifact is valid only when its metadata matches the current
+        payload format *and* the exact compiler identity (version line
+        plus flags): a shared object built by a stale compiler must
+        miss and be rebuilt, never loaded.
+        """
+        c_path, so_path, meta_path = self._native_paths(key)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            self.stats["native_misses"] += 1
+            return None
+        if (
+            meta.get("format") != FORMAT_VERSION
+            or meta.get("compiler") != compiler_id
+            or not os.path.exists(so_path)
+        ):
+            self.stats["native_misses"] += 1
+            return None
+        self.stats["native_hits"] += 1
+        return c_path, so_path
+
+    def store_native_artifact(self, key, compiler_id, source, compile_fn):
+        """Build and publish a native artifact under ``key``.
+
+        ``compile_fn(c_path, so_path)`` performs the actual compile.
+        The metadata file is written last (atomically), so a crashed
+        build can never be mistaken for a valid artifact.
+        """
+        c_path, so_path, meta_path = self._native_paths(key)
+        directory = os.path.dirname(c_path)
+        os.makedirs(directory, exist_ok=True)
+        with open(c_path, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        tmp_so = so_path + ".tmp"
+        compile_fn(c_path, tmp_so)
+        os.replace(tmp_so, so_path)
+        meta = {
+            "format": FORMAT_VERSION,
+            "compiler": compiler_id,
+            "key": key,
+        }
+        fd, tmp_meta = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle, indent=2)
+        os.replace(tmp_meta, meta_path)
+        self.stats["native_stores"] += 1
+        return c_path, so_path
 
     # -- in-process LRU -----------------------------------------------------
 

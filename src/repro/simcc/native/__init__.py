@@ -1,0 +1,42 @@
+"""Native C backend for SimIR: compiled burst execution off the CPython
+hot path.
+
+The package renders post-pass SimIR micro-ops to C99
+(:mod:`repro.simcc.native.cgen`), compiles them with whatever ``cc`` the
+host provides (:mod:`repro.simcc.native.toolchain`), and drives whole
+pipeline windows per call through a flat shared state buffer
+(:mod:`repro.simcc.native.layout`,
+:mod:`repro.simcc.native.engine`).  Artifacts persist through the
+simulation cache (:mod:`repro.simcc.native.backend`).
+
+Everything degrades gracefully: no compiler, an unmappable model or a
+packet the range analysis cannot prove simply falls back to the Python
+module backend, bit-exactly.
+"""
+
+from repro.simcc.native.backend import (
+    NativeModule,
+    artifact_key,
+    build_native_module,
+)
+from repro.simcc.native.cgen import dump_program_c
+from repro.simcc.native.engine import NativePipeline
+from repro.simcc.native.layout import NativeUnsupported, StateLayout
+from repro.simcc.native.toolchain import find_compiler
+
+def native_available():
+    """True when a usable C compiler is discoverable."""
+    return find_compiler() is not None
+
+
+__all__ = [
+    "NativeModule",
+    "NativePipeline",
+    "NativeUnsupported",
+    "StateLayout",
+    "artifact_key",
+    "build_native_module",
+    "dump_program_c",
+    "find_compiler",
+    "native_available",
+]

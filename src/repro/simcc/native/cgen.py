@@ -1,0 +1,785 @@
+"""SimIR -> C99 rendering and the native burst driver.
+
+Two jobs live here:
+
+1. **Nativisability analysis.**  SimIR arithmetic is defined over
+   unbounded Python integers; C works in ``int64_t``.  A packet may run
+   natively only when a sound interval analysis proves every
+   intermediate value of every micro-op stays inside the signed 64-bit
+   range (``INT64_MIN`` itself is excluded so magnitude negation can
+   never overflow).  Packets that fail the proof -- or that write
+   program memory, where the self-modifying-code guard must observe
+   every store -- simply stay on the Python path; the burst driver
+   hands control back whenever the next fetch would enter one.
+
+2. **Code generation.**  Each native packet's per-stage IR lowers to a
+   ``static void f_<pc>_<stage>(int64_t *S)`` over the flat
+   :class:`repro.simcc.native.layout.StateLayout` buffer, and one
+   exported ``repro_burst`` drives whole stretches of cycles with
+   exactly the semantics of
+   :meth:`repro.machine.driver.Pipeline._step_plain`: retire, fetch (or
+   stall/halt bubble), window shift, deepest-first stage execution with
+   flush squashing.  Python is re-entered once per burst, not once per
+   micro-op.
+
+Trap parity: division by zero, negative shift counts, out-of-range
+element indices and negative stall requests raise in Python; the C
+helpers ``longjmp`` out of the burst with a trap code and the engine
+re-raises the matching exception type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.simcc import ir
+from repro.simcc.native import layout as L
+
+#: Values must stay within [-(2**63 - 1), 2**63 - 1]; INT64_MIN is
+#: excluded so ``-x`` and ``|x|`` are always representable.
+SAFE_HI = (1 << 63) - 1
+SAFE_LO = -SAFE_HI
+
+_CONTROL_METHODS = ("request_flush", "request_stall", "request_halt")
+
+
+class _NotNative(Exception):
+    """Internal: a packet failed the nativisability proof."""
+
+    def __init__(self, reason):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class PacketInfo:
+    """Verdict and resource usage of one packet's analysis."""
+
+    native: bool
+    reason: str = ""
+    reads: Set[str] = field(default_factory=set)
+    writes: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class NativePlan:
+    """Everything the engine needs to drive a compiled burst module."""
+
+    pc_base: int
+    pc_limit: int
+    depth: int
+    native_pcs: Set[int]
+    reasons: Dict[int, str]
+    push_names: Tuple[str, ...]
+    pull_names: Tuple[str, ...]
+
+    @property
+    def n_pc(self):
+        return self.pc_limit - self.pc_base
+
+
+# ---------------------------------------------------------------------------
+# Interval analysis
+# ---------------------------------------------------------------------------
+
+
+def _fits(lo, hi):
+    if lo < SAFE_LO or hi > SAFE_HI:
+        raise _NotNative("range [%d, %d] exceeds int64" % (lo, hi))
+    return (lo, hi)
+
+
+def _bit_bound(*ranges):
+    """A two's-complement width bound covering all corner values, for
+    the bitwise operators (``a & b`` etc. never need more bits than the
+    wider operand)."""
+    bits = 1
+    for lo, hi in ranges:
+        for value in (lo, hi):
+            bits = max(bits, value.bit_length() + 1)
+    return ir._range_of(min(bits, 70), True)
+
+
+def _check_value(value, env, model, info):
+    """Prove a (lo, hi) interval for ``value`` or raise :class:`_NotNative`.
+
+    ``env`` maps behaviour-local names to proven intervals; reading an
+    unproven local rejects the packet (conservative def-before-use)."""
+    if isinstance(value, ir.Const):
+        return _fits(value.value, value.value)
+    if isinstance(value, ir.ReadReg):
+        dtype = ir._resource_dtype(model, value.name)
+        if dtype is None:
+            raise _NotNative("unknown resource %r" % value.name)
+        info.reads.add(value.name)
+        return _fits(*ir._range_of(dtype.width, dtype.signed))
+    if isinstance(value, ir.ReadElem):
+        dtype = ir._resource_dtype(model, value.resource)
+        if dtype is None:
+            raise _NotNative("unknown resource %r" % value.resource)
+        info.reads.add(value.resource)
+        _check_value(value.index, env, model, info)
+        return _fits(*ir._range_of(dtype.width, dtype.signed))
+    if isinstance(value, ir.ReadLocal):
+        bounds = env.get(value.name)
+        if bounds is None:
+            raise _NotNative("local %r read before assignment" % value.name)
+        return bounds
+    if isinstance(value, ir.Unary):
+        lo, hi = _check_value(value.operand, env, model, info)
+        if value.op == "-":
+            return _fits(-hi, -lo)
+        if value.op == "~":
+            return _fits(-hi - 1, -lo - 1)
+        return (0, 1)
+    if isinstance(value, ir.Alu):
+        return _check_alu(value, env, model, info)
+    if isinstance(value, ir.Intrinsic):
+        return _check_intrinsic(value, env, model, info)
+    if isinstance(value, ir.Select):
+        _check_value(value.cond, env, model, info)
+        t_lo, t_hi = _check_value(value.if_true, env, model, info)
+        f_lo, f_hi = _check_value(value.if_false, env, model, info)
+        return (min(t_lo, f_lo), max(t_hi, f_hi))
+    raise _NotNative("unsupported value node %r" % type(value).__name__)
+
+
+def _check_alu(value, env, model, info):
+    a = _check_value(value.left, env, model, info)
+    b = _check_value(value.right, env, model, info)
+    op = value.op
+    if op in ir._CMP_OPS or op in ir._BOOL_OPS:
+        return (0, 1)
+    (a_lo, a_hi), (b_lo, b_hi) = a, b
+    if op == "+":
+        return _fits(a_lo + b_lo, a_hi + b_hi)
+    if op == "-":
+        return _fits(a_lo - b_hi, a_hi - b_lo)
+    if op == "*":
+        corners = [a_lo * b_lo, a_lo * b_hi, a_hi * b_lo, a_hi * b_hi]
+        return _fits(min(corners), max(corners))
+    if op in ("&", "|", "^"):
+        return _fits(*_bit_bound(a, b))
+    if op == "<<":
+        if b_hi > 64:
+            if (a_lo, a_hi) == (0, 0):
+                return (0, 0)
+            raise _NotNative("shift count may exceed 64")
+        b_min, b_max = max(b_lo, 0), max(b_hi, 0)
+        corners = [x << y for x in (a_lo, a_hi) for y in (b_min, b_max)]
+        return _fits(min(corners), max(corners))
+    if op == ">>":
+        b_min, b_max = max(b_lo, 0), min(max(b_hi, 0), 70)
+        corners = [x >> y for x in (a_lo, a_hi) for y in (b_min, b_max)]
+        return _fits(min(corners), max(corners))
+    if op == "/":
+        magnitude = max(abs(a_lo), abs(a_hi))
+        return _fits(-magnitude, magnitude)
+    if op == "%":
+        magnitude = min(max(abs(a_lo), abs(a_hi)),
+                        max(abs(b_lo), abs(b_hi)))
+        return _fits(-magnitude, magnitude)
+    raise _NotNative("unsupported ALU op %r" % op)
+
+
+def _check_intrinsic(value, env, model, info):
+    for arg in value.args:
+        _check_value(arg, env, model, info)
+    name = value.name
+    if name in ("sext", "zext", "sat"):
+        if len(value.args) != 2 or not isinstance(value.args[1], ir.Const):
+            raise _NotNative("%s needs a constant width" % name)
+        width = value.args[1].value
+        if not 1 <= width <= 64:
+            raise _NotNative("%s width %r out of range" % (name, width))
+        if name == "zext":
+            return _fits(0, (1 << width) - 1)
+        return _fits(*ir._range_of(width, True))
+    if name == "abs":
+        lo, hi = _check_value(value.args[0], env, model, info)
+        return (0 if lo <= 0 <= hi else min(abs(lo), abs(hi)),
+                max(abs(lo), abs(hi)))
+    if name in ("min", "max") and len(value.args) == 2:
+        a = _check_value(value.args[0], env, model, info)
+        b = _check_value(value.args[1], env, model, info)
+        if name == "min":
+            return (min(a[0], b[0]), min(a[1], b[1]))
+        return (max(a[0], b[0]), max(a[1], b[1]))
+    raise _NotNative("unsupported intrinsic %r" % name)
+
+
+def _check_ops(ops, env, model, info, pmem_name):
+    for op in ops:
+        if isinstance(op, ir.WriteReg):
+            dtype = ir._resource_dtype(model, op.name)
+            if dtype is None:
+                raise _NotNative("unknown resource %r" % op.name)
+            _check_value(op.value, env, model, info)
+            info.writes.add(op.name)
+        elif isinstance(op, ir.WriteElem):
+            if op.resource == pmem_name:
+                raise _NotNative(
+                    "writes program memory (guard must observe the store)"
+                )
+            dtype = ir._resource_dtype(model, op.resource)
+            if dtype is None:
+                raise _NotNative("unknown resource %r" % op.resource)
+            _check_value(op.index, env, model, info)
+            _check_value(op.value, env, model, info)
+            info.writes.add(op.resource)
+        elif isinstance(op, ir.WriteLocal):
+            env[op.name] = _check_value(op.value, env, model, info)
+        elif isinstance(op, ir.Control):
+            if op.method not in _CONTROL_METHODS:
+                raise _NotNative("unsupported control %r" % op.method)
+            for arg in op.args:
+                _check_value(arg, env, model, info)
+        elif isinstance(op, ir.Guard):
+            _check_value(op.cond, env, model, info)
+            then_env = dict(env)
+            else_env = dict(env)
+            _check_ops(op.then_ops, then_env, model, info, pmem_name)
+            _check_ops(op.else_ops, else_env, model, info, pmem_name)
+            merged = {}
+            for name in then_env:
+                if name in else_env:
+                    t, e = then_env[name], else_env[name]
+                    merged[name] = (min(t[0], e[0]), max(t[1], e[1]))
+            env.clear()
+            env.update(merged)
+        elif isinstance(op, ir.Loop):
+            raise _NotNative("contains a run-time loop")
+        elif isinstance(op, ir.Eval):
+            _check_value(op.value, env, model, info)
+        else:
+            raise _NotNative("unsupported op %r" % type(op).__name__)
+
+
+def analyze_packet(funcs_by_stage, model, pmem_name):
+    """Analyse one packet's per-stage IR; returns :class:`PacketInfo`."""
+    info = PacketInfo(native=True)
+    try:
+        for stage_funcs in funcs_by_stage:
+            for func in stage_funcs:
+                _check_ops(func.ops, {}, model, info, pmem_name)
+    except _NotNative as exc:
+        return PacketInfo(native=False, reason=exc.reason,
+                          reads=info.reads, writes=info.writes)
+    return info
+
+
+# ---------------------------------------------------------------------------
+# C rendering
+# ---------------------------------------------------------------------------
+
+
+def _c_int(value):
+    return "INT64_C(%d)" % value
+
+
+class _CRenderer:
+    """Renders IR values and ops against one :class:`StateLayout`."""
+
+    def __init__(self, model, state_layout):
+        self._model = model
+        self._layout = state_layout
+
+    def value(self, value):
+        if isinstance(value, ir.Const):
+            return _c_int(value.value)
+        if isinstance(value, ir.ReadReg):
+            return "S[%d]" % self._layout.by_name[value.name].offset
+        if isinstance(value, ir.ReadElem):
+            return "S[%d + %s]" % (
+                self._layout.by_name[value.resource].offset,
+                self._index(value.resource, value.index),
+            )
+        if isinstance(value, ir.ReadLocal):
+            return "L_%s" % value.name
+        if isinstance(value, ir.Unary):
+            inner = self.value(value.operand)
+            if value.op == "-":
+                return "(-%s)" % inner
+            if value.op == "~":
+                return "(~%s)" % inner
+            return "(int64_t)(%s == 0)" % inner
+        if isinstance(value, ir.Alu):
+            return self._alu(value)
+        if isinstance(value, ir.Intrinsic):
+            return self._intrinsic(value)
+        if isinstance(value, ir.Select):
+            return "((%s) ? (%s) : (%s))" % (
+                self.value(value.cond),
+                self.value(value.if_true),
+                self.value(value.if_false),
+            )
+        raise _NotNative("cannot render value %r" % (value,))
+
+    def _index(self, resource, index):
+        entry = self._layout.by_name[resource]
+        if isinstance(index, ir.Const) and 0 <= index.value < entry.length:
+            return _c_int(index.value)
+        return "h_index(S, %s, %d)" % (self.value(index), entry.length)
+
+    def _alu(self, value):
+        left = self.value(value.left)
+        right = self.value(value.right)
+        op = value.op
+        if op in ir._PLAIN_OPS and op not in ("<<", ">>"):
+            return "(%s %s %s)" % (left, op, right)
+        if op in ir._CMP_OPS:
+            return "(int64_t)(%s %s %s)" % (left, op, right)
+        if op == "<<":
+            return "h_shl(S, %s, %s)" % (left, right)
+        if op == ">>":
+            return "h_shr(S, %s, %s)" % (left, right)
+        if op == "/":
+            return "h_idiv(S, %s, %s)" % (left, right)
+        if op == "%":
+            return "h_imod(S, %s, %s)" % (left, right)
+        if op == "&&":
+            return "(int64_t)((%s != 0) && (%s != 0))" % (left, right)
+        return "(int64_t)((%s != 0) || (%s != 0))" % (left, right)
+
+    def _intrinsic(self, value):
+        name = value.name
+        args = [self.value(arg) for arg in value.args]
+        if name in ("sext", "zext", "sat"):
+            return "h_%s(%s, %d)" % (name, args[0], value.args[1].value)
+        if name == "abs":
+            return "h_abs(%s)" % args[0]
+        if name in ("min", "max"):
+            return "h_%s(%s, %s)" % (name, args[0], args[1])
+        raise _NotNative("cannot render intrinsic %r" % name)
+
+    def _store_value(self, op):
+        source = self.value(op.value)
+        if op.width is None:
+            return source
+        if op.signed:
+            return "h_cansig(%s, %d)" % (source, op.width)
+        return "(%s & %s)" % (source, _c_int((1 << op.width) - 1))
+
+    def ops(self, ops, indent):
+        pad = "    " * indent
+        lines = []
+        for op in ops:
+            if isinstance(op, ir.WriteReg):
+                entry = self._layout.by_name[op.name]
+                lines.append("%sS[%d] = %s;" % (
+                    pad, entry.offset, self._store_value(op)
+                ))
+            elif isinstance(op, ir.WriteElem):
+                entry = self._layout.by_name[op.resource]
+                lines.append("%s{ int64_t _i = %s;" % (
+                    pad, self._index(op.resource, op.index)
+                ))
+                lines.append("%s  S[%d + _i] = %s;" % (
+                    pad, entry.offset, self._store_value(op)
+                ))
+                lines.append(
+                    "%s  if (_i < S[%d]) S[%d] = _i;"
+                    % (pad, entry.wm_offset, entry.wm_offset)
+                )
+                lines.append(
+                    "%s  if (_i > S[%d]) S[%d] = _i; }"
+                    % (pad, entry.wm_offset + 1, entry.wm_offset + 1)
+                )
+            elif isinstance(op, ir.WriteLocal):
+                lines.append("%sL_%s = %s;" % (
+                    pad, op.name, self.value(op.value)
+                ))
+            elif isinstance(op, ir.Control):
+                lines.append(pad + self._control(op))
+            elif isinstance(op, ir.Guard):
+                lines.append("%sif (%s) {" % (pad, self.value(op.cond)))
+                lines.extend(self.ops(op.then_ops, indent + 1))
+                if op.else_ops:
+                    lines.append(pad + "} else {")
+                    lines.extend(self.ops(op.else_ops, indent + 1))
+                lines.append(pad + "}")
+            elif isinstance(op, ir.Eval):
+                lines.append("%s{ int64_t _ev = %s; (void)_ev; }" % (
+                    pad, self.value(op.value)
+                ))
+            else:
+                raise _NotNative("cannot render op %r" % type(op).__name__)
+        return lines
+
+    def _control(self, op):
+        if op.method == "request_stall":
+            return "h_stall(S, %s);" % self.value(op.args[0])
+        if op.method == "request_halt":
+            return "h_halt(S);"
+        return "h_flush(S);"
+
+    def function_body(self, func, indent):
+        """One IR function as a C block with its locals scoped inside."""
+        pad = "    " * indent
+        locals_ = sorted(_collect_locals(func.ops))
+        lines = [pad + "{"]
+        for name in locals_:
+            lines.append("%s    int64_t L_%s = 0; (void)L_%s;"
+                         % (pad, name, name))
+        lines.extend(self.ops(func.ops, indent + 1))
+        lines.append(pad + "}")
+        return lines
+
+
+def _collect_locals(ops):
+    names = set()
+    for op in ops:
+        if isinstance(op, ir.WriteLocal):
+            names.add(op.name)
+        elif isinstance(op, ir.Guard):
+            names |= _collect_locals(op.then_ops)
+            names |= _collect_locals(op.else_ops)
+        elif isinstance(op, ir.Loop):
+            names |= _collect_locals(op.body)
+        for value in ir.op_values(op):
+            for walked in ir.walk_values(value):
+                if isinstance(walked, ir.ReadLocal):
+                    names.add(walked.name)
+    return names
+
+
+_HELPERS = r"""
+#include <stdint.h>
+#include <setjmp.h>
+
+static jmp_buf trap_jmp;
+
+#define HDR_CYCLES 0
+#define HDR_INSNS 1
+#define HDR_HALTED 2
+#define HDR_STALL 3
+#define HDR_FLUSH_BELOW 4
+#define HDR_CUR_STAGE 5
+#define HDR_TRAP_CODE 6
+#define HDR_TRAP_PC 7
+#define HDR_TRAP_STAGE 8
+
+static void trap(int64_t *S, int64_t code) {
+    S[HDR_TRAP_CODE] = code;
+    longjmp(trap_jmp, 1);
+}
+
+static int64_t h_idiv(int64_t *S, int64_t a, int64_t b) {
+    int64_t q;
+    if (b == 0) trap(S, 1);
+    q = (a < 0 ? -a : a) / (b < 0 ? -b : b);
+    return ((a < 0) != (b < 0)) ? -q : q;
+}
+
+static int64_t h_imod(int64_t *S, int64_t a, int64_t b) {
+    return a - h_idiv(S, a, b) * b;
+}
+
+static int64_t h_shl(int64_t *S, int64_t a, int64_t b) {
+    if (b < 0) trap(S, 2);
+    if (b > 63) return 0;  /* proof: a == 0 whenever b > 63 */
+    return (int64_t)((uint64_t)a << b);
+}
+
+static int64_t h_shr(int64_t *S, int64_t a, int64_t b) {
+    if (b < 0) trap(S, 2);
+    if (b > 63) b = 63;
+    return a < 0 ? ~((~a) >> b) : a >> b;  /* arithmetic, like Python */
+}
+
+static int64_t h_index(int64_t *S, int64_t i, int64_t n) {
+    if (i < 0) i += n;  /* Python list indexing wraps once */
+    if (i < 0 || i >= n) trap(S, 3);
+    return i;
+}
+
+static int64_t h_cansig(int64_t v, int w) {
+    uint64_t m = (w >= 64) ? ~(uint64_t)0 : (((uint64_t)1 << w) - 1);
+    uint64_t half = (uint64_t)1 << (w - 1);
+    return (int64_t)((((uint64_t)v + half) & m) - half);
+}
+
+static int64_t h_sext(int64_t v, int w) {
+    uint64_t m = (w >= 64) ? ~(uint64_t)0 : (((uint64_t)1 << w) - 1);
+    uint64_t sign = (uint64_t)1 << (w - 1);
+    uint64_t u = (uint64_t)v & m;
+    return (int64_t)((u ^ sign) - sign);
+}
+
+static int64_t h_zext(int64_t v, int w) {
+    uint64_t m = (w >= 64) ? ~(uint64_t)0 : (((uint64_t)1 << w) - 1);
+    return (int64_t)((uint64_t)v & m);
+}
+
+static int64_t h_sat(int64_t v, int w) {
+    int64_t hi = (int64_t)((((uint64_t)1 << (w - 1))) - 1);
+    int64_t lo = -hi - 1;
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+static int64_t h_abs(int64_t v) { return v < 0 ? -v : v; }
+static int64_t h_min(int64_t a, int64_t b) { return a < b ? a : b; }
+static int64_t h_max(int64_t a, int64_t b) { return a > b ? a : b; }
+
+static void h_stall(int64_t *S, int64_t n) {
+    if (n < 0) trap(S, 4);
+    S[HDR_STALL] += n;
+}
+
+static void h_flush(int64_t *S) {
+    if (S[HDR_CUR_STAGE] > S[HDR_FLUSH_BELOW])
+        S[HDR_FLUSH_BELOW] = S[HDR_CUR_STAGE];
+}
+
+static void h_halt(int64_t *S) {
+    S[HDR_HALTED] = 1;
+    h_flush(S);
+}
+"""
+
+
+_BURST = r"""
+int64_t repro_burst(int64_t *S, const int64_t *native_ok,
+                    int64_t max_cycles) {
+    int64_t cycles_run = 0;
+    if (setjmp(trap_jmp)) return 3;  /* trap: code in S[HDR_TRAP_CODE] */
+    for (;;) {
+        int64_t incoming = -1;
+        int stage;
+        if (S[HDR_HALTED]) {
+            int drained = 1;
+            for (stage = 0; stage < DEPTH; stage++)
+                if (S[WIN_BASE + stage] >= 0) { drained = 0; break; }
+            if (drained) return 0;  /* completed */
+        }
+        if (cycles_run >= max_cycles) return 1;  /* budget exhausted */
+        if (!S[HDR_HALTED] && S[HDR_STALL] == 0) {
+            int64_t pc = S[PC_OFF];
+            if (pc >= PC_BASE && pc < PC_LIMIT &&
+                !native_ok[pc - PC_BASE])
+                return 2;  /* table packet needing the Python path */
+        }
+        /* retire the oldest slot */
+        {
+            int64_t retiring = S[WIN_BASE + DEPTH - 1];
+            if (retiring >= 0) {
+                if (retiring >= PC_BASE && retiring < PC_LIMIT &&
+                    !pkt_trap[retiring - PC_BASE])
+                    S[HDR_INSNS] += pkt_insns[retiring - PC_BASE];
+                else
+                    S[HDR_INSNS] += 1;  /* trap slots count one insn */
+            }
+        }
+        /* fetch (or bubble on halt/stall); addresses outside the table
+         * fetch trap pseudo-slots (one word, raising only if they reach
+         * the execute stage un-squashed), exactly like the Python
+         * front-end */
+        if (S[HDR_HALTED]) {
+            incoming = -1;
+        } else if (S[HDR_STALL] > 0) {
+            S[HDR_STALL] -= 1;
+            incoming = -1;
+        } else {
+            int64_t pc = S[PC_OFF];
+            incoming = pc;
+            if (pc >= PC_BASE && pc < PC_LIMIT && !pkt_trap[pc - PC_BASE])
+                S[PC_OFF] = pc + pkt_words[pc - PC_BASE];
+            else
+                S[PC_OFF] = pc + 1;
+        }
+        /* shift the window */
+        for (stage = DEPTH - 1; stage > 0; stage--)
+            S[WIN_BASE + stage] = S[WIN_BASE + stage - 1];
+        S[WIN_BASE] = incoming;
+        /* execute, deepest stage first */
+        for (stage = DEPTH - 1; stage >= 0; stage--) {
+            int64_t slot_pc = S[WIN_BASE + stage];
+            const opfn *fns;
+            if (slot_pc < 0) continue;
+            if (stage < S[HDR_FLUSH_BELOW]) {
+                S[WIN_BASE + stage] = -1;
+                continue;
+            }
+            if (slot_pc < PC_BASE || slot_pc >= PC_LIMIT ||
+                pkt_trap[slot_pc - PC_BASE]) {
+                if (stage == EXEC_STAGE) {
+                    S[HDR_TRAP_PC] = slot_pc;
+                    S[HDR_TRAP_STAGE] = stage;
+                    trap(S, 5);  /* undefined fetch reached execute */
+                }
+                continue;
+            }
+            fns = stage_fns[(slot_pc - PC_BASE) * DEPTH + stage];
+            if (fns) {
+                S[HDR_CUR_STAGE] = stage;
+                S[HDR_TRAP_PC] = slot_pc;
+                S[HDR_TRAP_STAGE] = stage;
+                for (; *fns; fns++) (*fns)(S);
+            }
+        }
+        S[HDR_FLUSH_BELOW] = -1;
+        S[HDR_CYCLES] += 1;
+        cycles_run += 1;
+    }
+}
+"""
+
+
+def render_stage_function(name, funcs, renderer):
+    """One per-(pc, stage) C function concatenating the packet's IR
+    functions for that stage, each in its own local scope."""
+    lines = ["static void %s(int64_t *S) {" % name]
+    for func in funcs:
+        lines.extend(renderer.function_body(func, 1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_native_source(table, model, state_layout):
+    """Render the full burst module for ``table``.
+
+    Returns ``(c_source, plan)``; ``plan.native_pcs`` names the packets
+    the analysis proved, everything else falls back per-fetch.
+    """
+    pmem_name = model.config.program_memory
+    depth = model.pipeline.depth
+    ir_by_stage = table.ir_by_stage or {}
+    pcs = sorted(table.slots)
+    if not pcs or not ir_by_stage:
+        raise L.NativeUnsupported("table has no lowered IR to render")
+    pc_base, pc_limit = pcs[0], pcs[-1] + 1
+    if model.config.execute_stage is not None:
+        exec_stage = model.pipeline.stage_index(model.config.execute_stage)
+    else:
+        exec_stage = depth - 1
+
+    renderer = _CRenderer(model, state_layout)
+    native_pcs = set()
+    reasons = {}
+    reads, writes = set(), set()
+    chunks = [
+        "/* Auto-generated native burst module (repro.simcc.native).\n"
+        " * model=%s layout=%s  -- do not edit. */"
+        % (model.name, state_layout.digest()[:16]),
+        _HELPERS,
+        "#define DEPTH %d" % depth,
+        "#define WIN_BASE %d" % L.WIN_BASE,
+        "#define PC_OFF %d" % state_layout.pc_offset,
+        "#define PC_BASE %s" % _c_int(pc_base),
+        "#define PC_LIMIT %s" % _c_int(pc_limit),
+        "#define EXEC_STAGE %d" % exec_stage,
+        "typedef void (*opfn)(int64_t *);",
+    ]
+
+    stage_lists = {}
+    for pc in pcs:
+        funcs_by_stage = ir_by_stage.get(pc)
+        if funcs_by_stage is None:
+            reasons[pc] = "no lowered IR"
+            continue
+        info = analyze_packet(funcs_by_stage, model, pmem_name)
+        if not info.native:
+            reasons[pc] = info.reason
+            continue
+        native_pcs.add(pc)
+        reads |= info.reads
+        writes |= info.writes
+        per_stage = []
+        for stage, funcs in enumerate(funcs_by_stage):
+            if not funcs:
+                per_stage.append(None)
+                continue
+            name = "f_%x_%d" % (pc, stage)
+            chunks.append(render_stage_function(name, funcs, renderer))
+            per_stage.append(name)
+        stage_lists[pc] = per_stage
+
+    # Per-(pc, stage) NULL-terminated op lists, then the dispatch table.
+    entries = []
+    for pc in range(pc_base, pc_limit):
+        per_stage = stage_lists.get(pc)
+        for stage in range(depth):
+            name = per_stage[stage] if per_stage else None
+            if name is None:
+                entries.append("0")
+            else:
+                list_name = "ops_%x_%d" % (pc, stage)
+                chunks.append("static const opfn %s[] = { %s, 0 };"
+                              % (list_name, name))
+                entries.append(list_name)
+    chunks.append(
+        "static const opfn *const stage_fns[] = {\n    %s\n};"
+        % ",\n    ".join(entries)
+    )
+
+    words = []
+    insns = []
+    traps = []
+    for pc in range(pc_base, pc_limit):
+        slot = table.slots.get(pc)
+        words.append(str(slot.words if slot is not None else 1))
+        insns.append(str(slot.insn_count if slot is not None else 0))
+        traps.append("0" if slot is not None else "1")
+    chunks.append("static const int32_t pkt_words[] = { %s };"
+                  % ", ".join(words))
+    chunks.append("static const int32_t pkt_insns[] = { %s };"
+                  % ", ".join(insns))
+    chunks.append("static const int32_t pkt_trap[] = { %s };"
+                  % ", ".join(traps))
+    chunks.append(_BURST)
+
+    # The program counter is read and written by the burst driver, and
+    # the pull of scalars is unconditional, so keep the pc in both sets.
+    push = reads | writes | {state_layout.pc_name}
+    pull = writes | {state_layout.pc_name}
+    plan = NativePlan(
+        pc_base=pc_base, pc_limit=pc_limit, depth=depth,
+        native_pcs=native_pcs, reasons=reasons,
+        push_names=tuple(sorted(push)), pull_names=tuple(sorted(pull)),
+    )
+    return "\n\n".join(chunks) + "\n", plan
+
+
+# ---------------------------------------------------------------------------
+# CLI rendering (--dump-c)
+# ---------------------------------------------------------------------------
+
+
+def dump_program_c(model, program, stream=None):
+    """Print the rendered C for every packet of ``program``.
+
+    Packets the analysis rejects print their fallback reason instead of
+    code.  Pure rendering: no toolchain is required.
+    """
+    import sys
+
+    from repro.machine import PipelineControl, ProcessorState
+    from repro.simcc.generator import generate_simulation_compiler
+
+    out = stream or sys.stdout
+    state_layout = L.StateLayout.build(model)
+    compiler = generate_simulation_compiler(model)
+    portable = compiler.compile_portable(program, level="instantiated")
+    state = ProcessorState(model)
+    control = PipelineControl()
+    table = portable.bind(state, control)
+    pmem_name = model.config.program_memory
+    renderer = _CRenderer(model, state_layout)
+    out.write("/* native rendering: model=%s program=%s layout=%s */\n"
+              % (model.name, program.name, state_layout.digest()[:16]))
+    for pc in sorted(table.slots):
+        funcs_by_stage = table.ir_by_stage.get(pc, ())
+        info = analyze_packet(funcs_by_stage, model, pmem_name)
+        if not info.native:
+            out.write("\n/* pc=0x%x: python fallback (%s) */\n"
+                      % (pc, info.reason))
+            continue
+        out.write("\n/* pc=0x%x: native */\n" % pc)
+        for stage, funcs in enumerate(funcs_by_stage):
+            if not funcs:
+                continue
+            out.write(render_stage_function(
+                "f_%x_%d" % (pc, stage), funcs, renderer
+            ))
+            out.write("\n")

@@ -1,0 +1,196 @@
+"""Flat int64 state layout shared between Python and native bursts.
+
+The native backend drives whole bursts of cycles per call, so all state
+the generated C can touch must live in one flat buffer of ``int64_t``
+slots.  :class:`StateLayout` is the contract: a deterministic mapping
+from the model's resources (in declaration order) plus the pipeline
+bookkeeping header onto buffer offsets.  The same layout description is
+hashed into the native artifact key, so a cached shared object can
+never be bound to a buffer it does not understand.
+
+Header slots (fixed, before any resource):
+
+========== ===========================================================
+offset     contents
+========== ===========================================================
+0          cycle counter
+1          instructions retired
+2          halted flag (0/1)
+3          pending stall cycles
+4          flush_below (reset to -1 between cycles)
+5          current stage (only meaningful during a stage call)
+6..8       trap code / trap pc / trap stage (set on native traps)
+9..9+D-1   pipeline window issue pcs, newest first (-1 = bubble)
+========== ===========================================================
+
+After the window come two watermark slots per array resource (dirty
+low/high element index, maintained by generated element writes so the
+pull after a burst copies only the touched range), then the resources
+themselves: scalar registers, register files and memories, one slot per
+element, in model declaration order.
+
+Values are stored exactly as :class:`repro.machine.state.ProcessorState`
+stores them: canonical form, so signed resources hold possibly negative
+integers.  Every resource type must therefore fit in a signed 64-bit
+slot; a model declaring a ``uint64`` resource is not nativisable and
+:meth:`StateLayout.build` raises :class:`NativeUnsupported`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from array import array
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+HDR_CYCLES = 0
+HDR_INSNS = 1
+HDR_HALTED = 2
+HDR_STALL = 3
+HDR_FLUSH_BELOW = 4
+HDR_CUR_STAGE = 5
+HDR_TRAP_CODE = 6
+HDR_TRAP_PC = 7
+HDR_TRAP_STAGE = 8
+WIN_BASE = 9
+
+#: Trap codes reported through ``HDR_TRAP_CODE`` (mirrored in cgen).
+TRAP_DIV_ZERO = 1
+TRAP_NEG_SHIFT = 2
+TRAP_INDEX = 3
+TRAP_NEG_STALL = 4
+TRAP_UNDEFINED = 5
+
+
+class NativeUnsupported(Exception):
+    """The model cannot be mapped onto the flat int64 layout."""
+
+
+@dataclass(frozen=True)
+class LayoutEntry:
+    """One resource's placement in the buffer.
+
+    ``length`` is ``None`` for scalar registers.  ``wm_offset`` points
+    at the two dirty-watermark slots of array resources (``None`` for
+    scalars, which are always pulled).
+    """
+
+    name: str
+    offset: int
+    length: Optional[int]
+    width: int
+    signed: bool
+    wm_offset: Optional[int] = None
+
+    @property
+    def is_array(self):
+        return self.length is not None
+
+
+class StateLayout:
+    """Deterministic flat buffer layout for one machine model."""
+
+    def __init__(self, model_name, depth, pc_name, entries):
+        self.model_name = model_name
+        self.depth = depth
+        self.pc_name = pc_name
+        self.entries: Tuple[LayoutEntry, ...] = tuple(entries)
+        self.by_name = {entry.name: entry for entry in self.entries}
+        last = self.entries[-1]
+        self.total_slots = last.offset + (last.length or 1)
+        self.pc_offset = self.by_name[pc_name].offset
+
+    @classmethod
+    def build(cls, model):
+        """Lay out all resources of ``model``; raises
+        :class:`NativeUnsupported` when any resource cannot live in a
+        signed 64-bit slot."""
+        depth = model.pipeline.depth
+        resources = []
+        for reg in model.registers.values():
+            resources.append((reg.name, reg.count, reg.dtype))
+        for mem in model.memories.values():
+            resources.append((mem.name, mem.size, mem.dtype))
+        arrays = sum(1 for _, length, _ in resources if length is not None)
+        offset = WIN_BASE + depth + 2 * arrays
+        wm_offset = WIN_BASE + depth
+        entries = []
+        for name, length, dtype in resources:
+            if dtype.width > 64 or (dtype.width == 64 and not dtype.signed):
+                raise NativeUnsupported(
+                    "resource %r (%s) does not fit a signed 64-bit slot"
+                    % (name, dtype.name)
+                )
+            wm = None
+            if length is not None:
+                wm = wm_offset
+                wm_offset += 2
+            entries.append(LayoutEntry(
+                name=name, offset=offset, length=length,
+                width=dtype.width, signed=dtype.signed, wm_offset=wm,
+            ))
+            offset += length or 1
+        return cls(model.name, depth, model.pc_name, entries)
+
+    # -- identity -----------------------------------------------------------
+
+    def describe(self):
+        """Canonical text form hashed into artifact keys."""
+        lines = ["layout/1 model=%s depth=%d pc=%s"
+                 % (self.model_name, self.depth, self.pc_name)]
+        for entry in self.entries:
+            lines.append("%s off=%d len=%s w=%d s=%d wm=%s" % (
+                entry.name, entry.offset, entry.length, entry.width,
+                int(entry.signed), entry.wm_offset,
+            ))
+        return "\n".join(lines)
+
+    def digest(self):
+        return hashlib.sha256(self.describe().encode("utf-8")).hexdigest()
+
+    # -- buffer transfer ----------------------------------------------------
+
+    def new_buffer(self):
+        return array("q", bytes(8 * self.total_slots))
+
+    def push(self, state, buf, names=None):
+        """Copy resources from ``state`` into ``buf``.
+
+        ``names`` restricts the copy to a resource subset (the set the
+        native code can read or write); array watermarks are reset so
+        the following burst records its dirty range from scratch.
+        """
+        for entry in self.entries:
+            if names is not None and entry.name not in names:
+                continue
+            if entry.is_array:
+                storage = getattr(state, entry.name)
+                buf[entry.offset:entry.offset + entry.length] = \
+                    array("q", storage)
+                buf[entry.wm_offset] = entry.length
+                buf[entry.wm_offset + 1] = -1
+            else:
+                buf[entry.offset] = getattr(state, entry.name)
+
+    def pull(self, state, buf, names=None):
+        """Copy resources back from ``buf`` into ``state``.
+
+        Array resources copy only their dirty watermark range (written
+        in place through slice assignment, so wrappers installed over
+        the storage list survive); scalars are always copied.
+        """
+        for entry in self.entries:
+            if entry.is_array:
+                if names is not None and entry.name not in names:
+                    continue
+                lo = buf[entry.wm_offset]
+                hi = buf[entry.wm_offset + 1]
+                if hi < lo:
+                    continue
+                storage = getattr(state, entry.name)
+                base = entry.offset
+                storage[lo:hi + 1] = buf[base + lo:base + hi + 1].tolist()
+            else:
+                if names is not None and entry.name not in names:
+                    continue
+                setattr(state, entry.name, buf[entry.offset])

@@ -13,6 +13,12 @@ are bit-identical by construction.  These tests check the construction:
 * a cache entry written under a different format version is a clean
   miss, not an error,
 * ``--dump-ir`` / ``Toolset.dump_ir`` render the post-pass IR.
+
+The native C backend (``backend="native"``) extends the same guarantee
+to a third consumer of the lowered IR: compiled burst kernels must be
+bit-identical to both Python backends over the full matrix, fall back
+cleanly when no toolchain exists, and round-trip checkpoints against
+the Python engines.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from repro.machine.state import ProcessorState
 from repro.sim import create_simulator
 from repro.simcc import ir
 from repro.simcc.emit import emit_simulator_module
+from repro.simcc.native import NativePipeline, native_available
 
 
 # -- the app x model cross-backend matrix ------------------------------------
@@ -383,6 +390,153 @@ class TestCacheFormatVersion:
         fresh.load_program(program)
         fresh.run()
         assert fresh.state.differences(sim.state) == []
+
+
+# -- native C backend ---------------------------------------------------------
+
+# Bit-exactness needs the host toolchain; the fallback tests need its
+# absence (``CC=""`` is the toolchain discovery's explicit disable).
+needs_cc = pytest.mark.skipif(
+    not native_available(), reason="no usable C compiler on the host"
+)
+
+
+@needs_cc
+@pytest.mark.parametrize(
+    "builder", [entry[1] for entry in APP_MATRIX],
+    ids=[entry[0] for entry in APP_MATRIX],
+)
+def test_native_backend_matches_reference(builder):
+    """Native bursts vs the exec backend, over the full app matrix."""
+    app = builder()
+    model, program = load_app_program(app)
+
+    reference = create_simulator(model, "unfolded")
+    reference.load_program(program)
+    reference.run()
+    app.verify(reference.state)
+
+    native = create_simulator(model, "unfolded_static", backend="native")
+    native.load_program(program)
+    native.run()
+
+    assert isinstance(native.engine, NativePipeline)
+    assert native.state.differences(reference.state) == []
+    assert native.cycles == reference.cycles
+    app.verify(native.state)
+    counts = native.engine.dispatch_counts
+    assert counts["bursts"] > 0
+    assert counts["native_cycles"] > 0
+
+
+@needs_cc
+@pytest.mark.parametrize(
+    "kind", ["compiled", "static", "unfolded", "unfolded_static"]
+)
+def test_native_backend_all_table_kinds(kind):
+    """Every table-based kind can host the native engine."""
+    app = build_fir("c62x", taps=4, samples=8)
+    model, program = load_app_program(app)
+
+    reference = create_simulator(model, kind)
+    reference.load_program(program)
+    reference.run()
+
+    native = create_simulator(model, kind, backend="native")
+    native.load_program(program)
+    native.run()
+
+    assert native.state.differences(reference.state) == []
+    assert native.cycles == reference.cycles
+    assert native.engine.dispatch_counts["bursts"] > 0
+
+
+@needs_cc
+def test_native_checkpoint_round_trips_both_directions():
+    """A checkpoint taken mid-burst restores onto the Python engine and
+    vice versa, finishing bit-identically to a straight-through run."""
+    app = build_fir("c62x", taps=4, samples=8)
+    model, program = load_app_program(app)
+
+    straight = create_simulator(model, "unfolded_static", backend="native")
+    straight.load_program(program)
+    straight.run()
+
+    for head_backend, tail_backend in (("native", "auto"),
+                                       ("auto", "native")):
+        head = create_simulator(model, "unfolded_static",
+                                backend=head_backend)
+        head.load_program(program)
+        head.engine.run_chunk(250)
+        snapshot = head.checkpoint()
+
+        tail = create_simulator(model, "unfolded_static",
+                                backend=tail_backend)
+        tail.load_program(program)
+        tail.restore(snapshot)
+        tail.run()
+
+        assert tail.state.differences(straight.state) == []
+        assert tail.cycles == straight.cycles
+        if tail_backend == "native":
+            # Bursts must resume after a restore, not just survive it.
+            assert tail.engine.dispatch_counts["native_cycles"] > 0
+
+
+class TestNativeBackendFallback:
+    """Degradation must be silent, observable and bit-exact."""
+
+    def test_no_toolchain_is_clean_fallback(self, monkeypatch):
+        from repro import obs
+
+        monkeypatch.setenv("CC", "")  # explicit toolchain disable
+        assert not native_available()
+
+        app = build_fir("tinydsp", taps=4, samples=8)
+        model, program = load_app_program(app)
+
+        reference = create_simulator(model, "unfolded_static")
+        reference.load_program(program)
+        reference.run()
+
+        sink = obs.ListSink()
+        sim = create_simulator(model, "unfolded_static", backend="native",
+                               observer=obs.Observer(sinks=(sink,)))
+        sim.load_program(program)
+        sim.run()
+
+        # Unwrapped engine, identical results, exactly one warning event.
+        assert not isinstance(sim.engine, NativePipeline)
+        assert sim.state.differences(reference.state) == []
+        assert sim.cycles == reference.cycles
+        fallbacks = [event for event in sink.events
+                     if event.kind == obs.NATIVE_FALLBACK]
+        assert len(fallbacks) == 1
+        assert "no C compiler" in fallbacks[0].args["reason"]
+
+    def test_backend_validation(self, testmodel):
+        from repro.support.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown simulation backend"):
+            create_simulator(testmodel, "unfolded", backend="jit")
+        with pytest.raises(ReproError, match="table-based"):
+            create_simulator(testmodel, "interpretive", backend="native")
+
+
+class TestDumpC:
+    def test_cli_dump_c(self, tmp_path, capsys):
+        from repro.cli import sim_main
+
+        app = build_fir("tinydsp", taps=4, samples=8)
+        asm = tmp_path / "fir.asm"
+        asm.write_text(app.source)
+        rc = sim_main(["tinydsp", str(asm), "--dump-c"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "native rendering" in out
+        assert "/* pc=0x" in out
+        # Dump replaces simulation: no run summary is printed.
+        assert "halted" not in out
 
 
 # -- IR dump ------------------------------------------------------------------

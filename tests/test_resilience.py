@@ -57,9 +57,10 @@ def patch_word(testmodel_tools):
 
 
 def _run_with_patch(model, kind, policy, program, word, observer=None,
-                    cache=None, repatch=None):
+                    cache=None, repatch=None, backend="auto"):
     simulator = create_simulator(
-        model, kind, observer=observer, cache=cache, on_self_modify=policy
+        model, kind, observer=observer, cache=cache, on_self_modify=policy,
+        backend=backend,
     )
     simulator.load_program(program)
     injector = FaultInjector(observer=observer)
@@ -116,6 +117,32 @@ class TestSelfModifyingCode:
         else:
             assert guard.stats["interpreted_fetches"] >= 1
             assert guard.stats["recompiled_packets"] == 0
+
+    @pytest.mark.parametrize("policy", ["recompile", "interpret"])
+    @pytest.mark.parametrize("kind", TABLE_KINDS)
+    def test_native_backend_demotes_patched_packet(
+        self, testmodel, smc_program, patch_word, smc_reference,
+        kind, policy,
+    ):
+        """Under ``backend="native"`` the guard must additionally demote
+        the patched packet out of burst execution: its compiled artifact
+        still encodes the pre-patch micro-ops."""
+        from repro.simcc.native import NativePipeline, native_available
+
+        if not native_available():
+            pytest.skip("no usable C compiler on the host")
+        ref_cycles, ref_snapshot = smc_reference
+        simulator, stats = _run_with_patch(
+            testmodel, kind, policy, smc_program, patch_word,
+            backend="native",
+        )
+        assert stats.cycles == ref_cycles
+        assert simulator.state.snapshot() == ref_snapshot
+        engine = simulator.engine
+        assert isinstance(engine, NativePipeline)
+        patch_pc = smc_program.symbols["patch"]
+        assert patch_pc in engine._python_pcs
+        assert simulator.guard.stats["invalidated_packets"] >= 1
 
     @pytest.mark.parametrize("kind", TABLE_KINDS)
     def test_error_policy_raises_typed(

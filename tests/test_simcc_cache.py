@@ -234,6 +234,141 @@ class TestExecutionEquality:
         assert warm.stats["disk_hits"] == 1
 
 
+class TestFormatV3Migration:
+    """Format 4 added native artifacts: a v3 entry that strayed into
+    this version's namespace must read as a clean miss -- not an error,
+    not quarantined -- exactly like the v2 entries before it."""
+
+    def test_v3_entry_is_clean_miss(self, testmodel, program, cache):
+        import marshal
+        import os
+
+        from repro.simcc.cache import _MAGIC
+
+        _load(testmodel, program, cache)
+        path = cache.entry_path(
+            table_digest(testmodel, program, "sequenced")
+        )
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        payload = marshal.loads(blob[len(_MAGIC):])
+        payload["meta"]["format"] = 3
+        with open(path, "wb") as handle:
+            handle.write(_MAGIC + marshal.dumps(payload))
+
+        reopened = SimulationCache(cache.root, max_memory_entries=0)
+        assert reopened.load_portable(testmodel, program,
+                                      "sequenced") is None
+        assert reopened.stats["misses"] == 1
+        assert reopened.stats["corrupt_entries"] == 0
+        assert os.path.exists(path)  # left alone, not quarantined
+
+        # A full reload recompiles and republishes over it.
+        table = _load(testmodel, program, reopened)
+        assert table.word_count == 5
+        assert reopened.stats["stores"] == 1
+
+
+class TestNativeArtifacts:
+    """Native burst artifacts (.c + .so + metadata) in the cache."""
+
+    KEY = "ab" * 32  # a well-formed sha256 hex key
+    COMPILER = "fake-cc 1.0 | -O2 -shared -fPIC"
+
+    @staticmethod
+    def _compile_fn(c_path, so_path):
+        with open(so_path, "wb") as handle:
+            handle.write(b"fake shared object")
+
+    def _meta_path(self, so_path):
+        return so_path[: -len(".so")] + ".json"
+
+    def test_store_then_load_round_trips(self, cache):
+        import os
+
+        c_path, so_path = cache.store_native_artifact(
+            self.KEY, self.COMPILER, "/* burst */", self._compile_fn
+        )
+        assert cache.stats["native_stores"] == 1
+        assert open(c_path).read() == "/* burst */"
+        assert os.path.exists(so_path)
+        assert cache.load_native_artifact(
+            self.KEY, self.COMPILER
+        ) == (c_path, so_path)
+        assert cache.stats["native_hits"] == 1
+
+    def test_missing_artifact_is_miss(self, cache):
+        assert cache.load_native_artifact(self.KEY, self.COMPILER) is None
+        assert cache.stats["native_misses"] == 1
+
+    def test_stale_compiler_identity_misses(self, cache):
+        """A shared object built by another compiler version must never
+        be loaded -- it misses and gets rebuilt."""
+        cache.store_native_artifact(
+            self.KEY, self.COMPILER, "/* burst */", self._compile_fn
+        )
+        assert cache.load_native_artifact(
+            self.KEY, "fake-cc 2.0 | -O2 -shared -fPIC"
+        ) is None
+        assert cache.stats["native_misses"] == 1
+        # The exact identity still hits.
+        assert cache.load_native_artifact(
+            self.KEY, self.COMPILER
+        ) is not None
+        assert cache.stats["native_hits"] == 1
+
+    def test_stale_format_version_misses(self, cache):
+        import json
+
+        _, so_path = cache.store_native_artifact(
+            self.KEY, self.COMPILER, "/* burst */", self._compile_fn
+        )
+        meta_path = self._meta_path(so_path)
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        meta["format"] = 3
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+        assert cache.load_native_artifact(self.KEY, self.COMPILER) is None
+        assert cache.stats["native_misses"] == 1
+
+    def test_crashed_build_is_never_published(self, cache):
+        """Metadata is written last: a compile that dies mid-way leaves
+        no loadable artifact behind."""
+
+        def boom(c_path, so_path):
+            raise OSError("compiler exploded")
+
+        with pytest.raises(OSError):
+            cache.store_native_artifact(
+                self.KEY, self.COMPILER, "/* burst */", boom
+            )
+        assert cache.stats["native_stores"] == 0
+        assert cache.load_native_artifact(self.KEY, self.COMPILER) is None
+
+    def test_end_to_end_native_build_hits_cache(self, testmodel, program,
+                                                cache):
+        """Two native-backed simulators on one cache: the second loads
+        the first's artifact instead of invoking the compiler."""
+        from repro.simcc.native import native_available
+
+        if not native_available():
+            pytest.skip("no usable C compiler on the host")
+        first = create_simulator(testmodel, "unfolded", cache=cache,
+                                 backend="native")
+        first.load_program(program)
+        first.run()
+        assert cache.stats["native_stores"] == 1
+
+        second = create_simulator(testmodel, "unfolded", cache=cache,
+                                  backend="native")
+        second.load_program(program)
+        second.run()
+        assert cache.stats["native_stores"] == 1
+        assert cache.stats["native_hits"] == 1
+        assert second.state.differences(first.state) == []
+
+
 # A pool of valid testmodel instructions for generated programs.  The
 # terminating `halt` is appended outside the strategy so every program
 # drains.
