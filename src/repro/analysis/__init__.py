@@ -60,12 +60,16 @@ class AnalysisResult:
         return payload
 
 
-def analyze_program(model, program, packet_lint=True, observer=None):
-    """Run effects, CFG and hazard analysis over one program.
+def analyze_program(model, program, packet_lint=True, ir_lint=True,
+                    observer=None):
+    """Run effects, CFG, hazard and IR analysis over one program.
 
     ``packet_lint`` additionally runs the VLIW write-collision check
-    (the :mod:`repro.tools.lint` pass) into the same report.
-    ``observer`` records one phase span per pass and a
+    (the :mod:`repro.tools.lint` pass) into the same report;
+    ``ir_lint`` runs the IR-level abstract-interpretation diagnostics
+    (:func:`repro.analysis.absint.check_ir`: ``ir.trap`` /
+    ``ir.dead-write``), which lowers the program through the simulation
+    compiler.  ``observer`` records one phase span per pass and a
     ``hazard.verdict`` trace event per analysed packet.
     """
     from repro import obs as _obs
@@ -84,6 +88,11 @@ def analyze_program(model, program, packet_lint=True, observer=None):
     check_cfg(cfg, report)
     with _obs.span(observer, "analysis.hazards"):
         safety = analyze_hazards(cfg, report=report)
+    if ir_lint:
+        from repro.analysis import absint
+
+        with _obs.span(observer, "analysis.ir"):
+            absint.check_ir(model, program, report)
     if observer is not None:
         for pc, verdict in sorted(safety.items()):
             observer.on_hazard_verdict(pc, verdict)

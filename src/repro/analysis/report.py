@@ -23,6 +23,16 @@ SEVERITIES = ("error", "warning", "note")
 
 _SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
 
+#: Stable diagnostic codes for IR-level checks, assigned on insertion
+#: from the producing check name.  Codes are part of the JSON contract
+#: (``repro-lint --json``) and must never be renumbered; new checks get
+#: new codes.
+DIAGNOSTIC_CODES = {
+    "cfg.unreachable": "IR001",
+    "ir.trap": "IR002",
+    "ir.dead-write": "IR003",
+}
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -30,16 +40,23 @@ class Finding:
 
     ``check`` is a stable machine-readable identifier of the producing
     check (``hazard.raw``, ``cfg.packet-middle``, ``packet.collision``,
-    ...); ``address`` is ``None`` for program-wide findings.
+    ...); ``address`` is ``None`` for program-wide findings.  ``code``
+    is the stable short diagnostic code (``IR002``, ...) for checks
+    that have one, else empty.
     """
 
     severity: str
     address: Optional[int]
     check: str
     message: str
+    code: str = ""
 
     def __str__(self):
         where = "<program>" if self.address is None else "0x%x" % self.address
+        if self.code:
+            return "%s: %s: [%s] %s" % (
+                where, self.severity, self.code, self.message
+            )
         return "%s: %s: %s" % (where, self.severity, self.message)
 
     def to_dict(self):
@@ -47,6 +64,7 @@ class Finding:
             "severity": self.severity,
             "address": self.address,
             "check": self.check,
+            "code": self.code,
             "message": self.message,
         }
 
@@ -72,7 +90,8 @@ class Report:
     def add(self, severity, address, check, message):
         if severity not in SEVERITIES:
             raise ValueError("unknown severity %r" % severity)
-        finding = Finding(severity, address, check, message)
+        finding = Finding(severity, address, check, message,
+                          code=DIAGNOSTIC_CODES.get(check, ""))
         if finding not in self._seen:
             self._seen.add(finding)
             self._findings.append(finding)
@@ -134,4 +153,4 @@ class Report:
         }
 
 
-__all__ = ["SEVERITIES", "Finding", "Report"]
+__all__ = ["DIAGNOSTIC_CODES", "SEVERITIES", "Finding", "Report"]

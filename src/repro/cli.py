@@ -292,6 +292,12 @@ def sim_main(argv=None):
         "proven hazard-free",
     )
     parser.add_argument(
+        "--verify-ir", action="store_true",
+        help="verify SimIR well-formedness before and after every "
+        "optimisation pass (also enabled by REPRO_VERIFY_IR=1); a "
+        "violation fails the run naming the offending pass",
+    )
+    parser.add_argument(
         "--on-self-modify", default="off",
         choices=("off", "error", "recompile", "interpret"),
         metavar="POLICY",
@@ -336,6 +342,10 @@ def sim_main(argv=None):
             "error: --verify-schedule requires -k static or "
             "unfolded_static\n",
         )
+    if args.verify_ir:
+        from repro.simcc import verify
+
+        verify.set_verify_default(True)
     try:
         model = _resolve_model(args.model)
         _print_model_diagnostics(parser, model, args.werror)

@@ -57,6 +57,8 @@ from repro.obs.events import (
     FAULT,
     FETCH,
     FLUSH,
+    GUARD_ELIDE,
+    GUARD_REARM,
     GUARD_RESOLVE,
     HALT,
     HAZARD,
@@ -180,7 +182,7 @@ def opcode_labeler(model, program):
 
 __all__ = [
     "BUBBLE", "CACHE", "CHECKPOINT", "EVENT_KINDS", "FALLBACK", "FAULT",
-    "FETCH", "FLUSH", "GUARD_RESOLVE",
+    "FETCH", "FLUSH", "GUARD_ELIDE", "GUARD_REARM", "GUARD_RESOLVE",
     "HALT", "HAZARD", "MEM_WRITE", "NATIVE", "NATIVE_FALLBACK",
     "NULL_SINK", "NULL_SPAN", "REG_WRITE",
     "RESTORE", "RUN_END", "SELF_MODIFY", "SQUASH", "STALL", "TIMEOUT",

@@ -93,12 +93,15 @@ class ProgramMemoryGuard:
         self.simulator = simulator
         self.policy = policy
         self.stale = set()
+        self.elided = False
         self.stats = {
             "program_writes": 0,
             "self_mod_writes": 0,
             "invalidated_packets": 0,
             "recompiled_packets": 0,
             "interpreted_fetches": 0,
+            "elisions": 0,
+            "rearms": 0,
         }
         model = simulator.model
         self._pmem_name = model.config.program_memory
@@ -122,8 +125,21 @@ class ProgramMemoryGuard:
 
     # -- arming ------------------------------------------------------------
 
-    def attach(self, target, engine):
-        """Arm the guard: wrap storage, build the cover map, interpose."""
+    def attach(self, target, engine, elide=False):
+        """Arm the guard: wrap storage, build the cover map, interpose.
+
+        With ``elide=True`` (the simulator proved, via the absint
+        store-reachability facts, that no compiled packet can store into
+        program memory) the fetch-path interposer is *not* installed:
+        clean programs fetch at full, uninstrumented speed.  Program
+        memory stays wrapped, so an out-of-band store -- a debugger
+        poke, fault injection, a checkpoint restore of patched memory --
+        still reaches :meth:`_note_write`, which lazily installs the
+        interposer before any stale packet can be fetched.  The first
+        self-modifying write therefore behaves bit-identically to a
+        never-elided guard (whose wrapper is a no-op while ``stale`` is
+        empty).
+        """
         self._target = target
         self._engine = engine
         self._wrap_memory()
@@ -131,7 +147,14 @@ class ProgramMemoryGuard:
         self._extent_of = {}
         for pc, words in target.packet_map().items():
             self._cover(pc, words)
-        engine.wrap_frontend(self._make_frontend)
+        self.elided = bool(elide)
+        if self.elided:
+            self.stats["elisions"] += 1
+            observer = self.observer
+            if observer is not None:
+                observer.on_guard_elide(policy=self.policy)
+        else:
+            engine.wrap_frontend(self._make_frontend)
         return self
 
     def disarm(self):
@@ -180,6 +203,19 @@ class ProgramMemoryGuard:
         pcs = self._covering.get(address)
         if not pcs:
             return  # a data store that happens to live in program memory
+        if self.elided:
+            # The static proof covered every *compiled* store; this one
+            # arrived out of band (fault injection, debugger, restore of
+            # patched memory).  Install the fetch interposer now --
+            # before this write marks anything stale, the wrapper is a
+            # no-op, so behaviour is bit-identical to a never-elided
+            # guard from here on.
+            self.elided = False
+            self.stats["rearms"] += 1
+            self._engine.wrap_frontend(self._make_frontend)
+            observer = self.observer
+            if observer is not None:
+                observer.on_guard_rearm(address)
         self.stats["self_mod_writes"] += 1
         coherent = self._target.coherent
         fresh = (

@@ -48,7 +48,10 @@ from repro.simcc.portable import PortableTable
 #: 3: portable tables store SimIR payloads instead of source text.
 #: 4: native burst artifacts (.c source + shared object + metadata)
 #:    ride alongside portable tables; older entries are clean misses.
-FORMAT_VERSION = 4
+#: 5: portable tables persist per-packet abstract-interpretation
+#:    proofs (:mod:`repro.analysis.absint`); prior-rev entries are
+#:    clean misses reported once as ``prior_format``.
+FORMAT_VERSION = 5
 
 _MAGIC = b"repro-simtab\n"
 
@@ -123,8 +126,10 @@ class SimulationCache:
     """On-disk simulation-table cache with an in-process LRU in front.
 
     ``stats`` counts ``memory_hits``, ``disk_hits``, ``misses``,
-    ``stores``, ``store_errors``, and ``corrupt_entries`` for
-    observability; the CLI prints them under ``--stats``.
+    ``stores``, ``store_errors``, ``corrupt_entries``, and
+    ``format_misses`` (entries written under a different payload
+    format, reported as clean misses) for observability; the CLI
+    prints them under ``--stats``.
     """
 
     def __init__(self, root, max_memory_entries=8):
@@ -138,6 +143,7 @@ class SimulationCache:
             "stores": 0,
             "store_errors": 0,
             "corrupt_entries": 0,
+            "format_misses": 0,
             "native_hits": 0,
             "native_misses": 0,
             "native_stores": 0,
@@ -165,7 +171,15 @@ class SimulationCache:
                                   ("disk_hits", "disk_hit"),
                                   ("misses", "miss")):
                 if self.stats[stat] > before[stat]:
-                    observer.on_cache(outcome, level=level)
+                    if (outcome == "miss" and self.stats["format_misses"]
+                            > before["format_misses"]):
+                        # The entry exists but was written under a prior
+                        # payload format: one clean miss, flagged so the
+                        # event stream explains the recompile.
+                        observer.on_cache(outcome, level=level,
+                                          prior_format=True)
+                    else:
+                        observer.on_cache(outcome, level=level)
         if portable is None:
             portable = compiler.compile_portable(program, level=level,
                                                  jobs=jobs, observer=observer)
@@ -318,6 +332,7 @@ class SimulationCache:
                 # format that strayed into this version's namespace is
                 # not corruption -- it is simply unusable here.  Treat
                 # it as a clean miss and leave it alone.
+                self.stats["format_misses"] += 1
                 return None
             if payload["meta"]["digest"] != digest:
                 raise ValueError("digest mismatch")

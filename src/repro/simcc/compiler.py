@@ -54,6 +54,13 @@ class SimulationTable:
     ``conflicting`` / ``unknown``); the static scheduler composes
     columns only over proven regions.  ``None`` (hand-built or legacy
     tables) disables the gate.
+
+    ``proofs`` maps packet starts to
+    :class:`repro.analysis.absint.PacketProof` facts (nativisability,
+    store-target reachability, per-resource value intervals).  Portable
+    tables carry them through :meth:`bind`; ``None`` means no proof is
+    available and consumers (guard elision, native admission) must stay
+    conservative.
     """
 
     level: str
@@ -64,6 +71,7 @@ class SimulationTable:
     word_count: int = 0
     schedule_safety: Optional[Dict[int, str]] = None
     ir_by_stage: Optional[Dict[int, Tuple[Tuple[object, ...], ...]]] = None
+    proofs: Optional[Dict[int, object]] = None
 
     def slot_at(self, pc):
         slot = self.slots.get(pc)

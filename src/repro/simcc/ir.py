@@ -1065,11 +1065,26 @@ DEFAULT_PASSES = (
 
 
 def run_passes(func, model, passes=DEFAULT_PASSES, stats=None):
-    """Run the pass pipeline over one :class:`IRFunction` in place."""
+    """Run the pass pipeline over one :class:`IRFunction` in place.
+
+    When IR verification is enabled (tests, ``--verify-ir``, or
+    ``REPRO_VERIFY_IR=1``), the function is verified before the first
+    pass and after every pass, so a pass bug fails loudly with the name
+    of the pass that introduced it instead of miscompiling.
+    """
     if stats is None:
         stats = PassStats()
+    from repro.simcc import verify as _verify  # lazy: verify imports ir
+
+    checking = _verify.enabled()
+    if checking:
+        _verify.verify_function(func, model, context="pre-pass")
     for pipeline_pass in passes:
         func = pipeline_pass(func, model, stats)
+        if checking:
+            _verify.verify_function(
+                func, model, context="after %s" % pipeline_pass.__name__
+            )
     return func
 
 

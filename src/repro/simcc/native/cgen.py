@@ -4,13 +4,16 @@ Two jobs live here:
 
 1. **Nativisability analysis.**  SimIR arithmetic is defined over
    unbounded Python integers; C works in ``int64_t``.  A packet may run
-   natively only when a sound interval analysis proves every
-   intermediate value of every micro-op stays inside the signed 64-bit
-   range (``INT64_MIN`` itself is excluded so magnitude negation can
-   never overflow).  Packets that fail the proof -- or that write
-   program memory, where the self-modifying-code guard must observe
-   every store -- simply stay on the Python path; the burst driver
-   hands control back whenever the next fetch would enter one.
+   natively only when the shared abstract interpreter
+   (:mod:`repro.analysis.absint`) proves every intermediate value of
+   every micro-op stays inside the signed 64-bit range (``INT64_MIN``
+   itself is excluded so magnitude negation can never overflow).
+   Packets that fail the proof -- or that write program memory, where
+   the self-modifying-code guard must observe every store -- simply
+   stay on the Python path; the burst driver hands control back
+   whenever the next fetch would enter one.  The same proofs let the
+   renderer drop canonicalisation masks from stores whose value is
+   provably canonical already.
 
 2. **Code generation.**  Each native packet's per-stage IR lowers to a
    ``static void f_<pc>_<stage>(int64_t *S)`` over the flat
@@ -30,36 +33,20 @@ re-raises the matching exception type.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set, Tuple
 
+from repro.analysis import absint
 from repro.simcc import ir
 from repro.simcc.native import layout as L
 
-#: Values must stay within [-(2**63 - 1), 2**63 - 1]; INT64_MIN is
-#: excluded so ``-x`` and ``|x|`` are always representable.
-SAFE_HI = (1 << 63) - 1
-SAFE_LO = -SAFE_HI
-
-_CONTROL_METHODS = ("request_flush", "request_stall", "request_halt")
-
 
 class _NotNative(Exception):
-    """Internal: a packet failed the nativisability proof."""
+    """Internal: asked to render a construct the proof never admits."""
 
     def __init__(self, reason):
         super().__init__(reason)
         self.reason = reason
-
-
-@dataclass
-class PacketInfo:
-    """Verdict and resource usage of one packet's analysis."""
-
-    native: bool
-    reason: str = ""
-    reads: Set[str] = field(default_factory=set)
-    writes: Set[str] = field(default_factory=set)
 
 
 @dataclass
@@ -79,194 +66,11 @@ class NativePlan:
         return self.pc_limit - self.pc_base
 
 
-# ---------------------------------------------------------------------------
-# Interval analysis
-# ---------------------------------------------------------------------------
-
-
-def _fits(lo, hi):
-    if lo < SAFE_LO or hi > SAFE_HI:
-        raise _NotNative("range [%d, %d] exceeds int64" % (lo, hi))
-    return (lo, hi)
-
-
-def _bit_bound(*ranges):
-    """A two's-complement width bound covering all corner values, for
-    the bitwise operators (``a & b`` etc. never need more bits than the
-    wider operand)."""
-    bits = 1
-    for lo, hi in ranges:
-        for value in (lo, hi):
-            bits = max(bits, value.bit_length() + 1)
-    return ir._range_of(min(bits, 70), True)
-
-
-def _check_value(value, env, model, info):
-    """Prove a (lo, hi) interval for ``value`` or raise :class:`_NotNative`.
-
-    ``env`` maps behaviour-local names to proven intervals; reading an
-    unproven local rejects the packet (conservative def-before-use)."""
-    if isinstance(value, ir.Const):
-        return _fits(value.value, value.value)
-    if isinstance(value, ir.ReadReg):
-        dtype = ir._resource_dtype(model, value.name)
-        if dtype is None:
-            raise _NotNative("unknown resource %r" % value.name)
-        info.reads.add(value.name)
-        return _fits(*ir._range_of(dtype.width, dtype.signed))
-    if isinstance(value, ir.ReadElem):
-        dtype = ir._resource_dtype(model, value.resource)
-        if dtype is None:
-            raise _NotNative("unknown resource %r" % value.resource)
-        info.reads.add(value.resource)
-        _check_value(value.index, env, model, info)
-        return _fits(*ir._range_of(dtype.width, dtype.signed))
-    if isinstance(value, ir.ReadLocal):
-        bounds = env.get(value.name)
-        if bounds is None:
-            raise _NotNative("local %r read before assignment" % value.name)
-        return bounds
-    if isinstance(value, ir.Unary):
-        lo, hi = _check_value(value.operand, env, model, info)
-        if value.op == "-":
-            return _fits(-hi, -lo)
-        if value.op == "~":
-            return _fits(-hi - 1, -lo - 1)
-        return (0, 1)
-    if isinstance(value, ir.Alu):
-        return _check_alu(value, env, model, info)
-    if isinstance(value, ir.Intrinsic):
-        return _check_intrinsic(value, env, model, info)
-    if isinstance(value, ir.Select):
-        _check_value(value.cond, env, model, info)
-        t_lo, t_hi = _check_value(value.if_true, env, model, info)
-        f_lo, f_hi = _check_value(value.if_false, env, model, info)
-        return (min(t_lo, f_lo), max(t_hi, f_hi))
-    raise _NotNative("unsupported value node %r" % type(value).__name__)
-
-
-def _check_alu(value, env, model, info):
-    a = _check_value(value.left, env, model, info)
-    b = _check_value(value.right, env, model, info)
-    op = value.op
-    if op in ir._CMP_OPS or op in ir._BOOL_OPS:
-        return (0, 1)
-    (a_lo, a_hi), (b_lo, b_hi) = a, b
-    if op == "+":
-        return _fits(a_lo + b_lo, a_hi + b_hi)
-    if op == "-":
-        return _fits(a_lo - b_hi, a_hi - b_lo)
-    if op == "*":
-        corners = [a_lo * b_lo, a_lo * b_hi, a_hi * b_lo, a_hi * b_hi]
-        return _fits(min(corners), max(corners))
-    if op in ("&", "|", "^"):
-        return _fits(*_bit_bound(a, b))
-    if op == "<<":
-        if b_hi > 64:
-            if (a_lo, a_hi) == (0, 0):
-                return (0, 0)
-            raise _NotNative("shift count may exceed 64")
-        b_min, b_max = max(b_lo, 0), max(b_hi, 0)
-        corners = [x << y for x in (a_lo, a_hi) for y in (b_min, b_max)]
-        return _fits(min(corners), max(corners))
-    if op == ">>":
-        b_min, b_max = max(b_lo, 0), min(max(b_hi, 0), 70)
-        corners = [x >> y for x in (a_lo, a_hi) for y in (b_min, b_max)]
-        return _fits(min(corners), max(corners))
-    if op == "/":
-        magnitude = max(abs(a_lo), abs(a_hi))
-        return _fits(-magnitude, magnitude)
-    if op == "%":
-        magnitude = min(max(abs(a_lo), abs(a_hi)),
-                        max(abs(b_lo), abs(b_hi)))
-        return _fits(-magnitude, magnitude)
-    raise _NotNative("unsupported ALU op %r" % op)
-
-
-def _check_intrinsic(value, env, model, info):
-    for arg in value.args:
-        _check_value(arg, env, model, info)
-    name = value.name
-    if name in ("sext", "zext", "sat"):
-        if len(value.args) != 2 or not isinstance(value.args[1], ir.Const):
-            raise _NotNative("%s needs a constant width" % name)
-        width = value.args[1].value
-        if not 1 <= width <= 64:
-            raise _NotNative("%s width %r out of range" % (name, width))
-        if name == "zext":
-            return _fits(0, (1 << width) - 1)
-        return _fits(*ir._range_of(width, True))
-    if name == "abs":
-        lo, hi = _check_value(value.args[0], env, model, info)
-        return (0 if lo <= 0 <= hi else min(abs(lo), abs(hi)),
-                max(abs(lo), abs(hi)))
-    if name in ("min", "max") and len(value.args) == 2:
-        a = _check_value(value.args[0], env, model, info)
-        b = _check_value(value.args[1], env, model, info)
-        if name == "min":
-            return (min(a[0], b[0]), min(a[1], b[1]))
-        return (max(a[0], b[0]), max(a[1], b[1]))
-    raise _NotNative("unsupported intrinsic %r" % name)
-
-
-def _check_ops(ops, env, model, info, pmem_name):
-    for op in ops:
-        if isinstance(op, ir.WriteReg):
-            dtype = ir._resource_dtype(model, op.name)
-            if dtype is None:
-                raise _NotNative("unknown resource %r" % op.name)
-            _check_value(op.value, env, model, info)
-            info.writes.add(op.name)
-        elif isinstance(op, ir.WriteElem):
-            if op.resource == pmem_name:
-                raise _NotNative(
-                    "writes program memory (guard must observe the store)"
-                )
-            dtype = ir._resource_dtype(model, op.resource)
-            if dtype is None:
-                raise _NotNative("unknown resource %r" % op.resource)
-            _check_value(op.index, env, model, info)
-            _check_value(op.value, env, model, info)
-            info.writes.add(op.resource)
-        elif isinstance(op, ir.WriteLocal):
-            env[op.name] = _check_value(op.value, env, model, info)
-        elif isinstance(op, ir.Control):
-            if op.method not in _CONTROL_METHODS:
-                raise _NotNative("unsupported control %r" % op.method)
-            for arg in op.args:
-                _check_value(arg, env, model, info)
-        elif isinstance(op, ir.Guard):
-            _check_value(op.cond, env, model, info)
-            then_env = dict(env)
-            else_env = dict(env)
-            _check_ops(op.then_ops, then_env, model, info, pmem_name)
-            _check_ops(op.else_ops, else_env, model, info, pmem_name)
-            merged = {}
-            for name in then_env:
-                if name in else_env:
-                    t, e = then_env[name], else_env[name]
-                    merged[name] = (min(t[0], e[0]), max(t[1], e[1]))
-            env.clear()
-            env.update(merged)
-        elif isinstance(op, ir.Loop):
-            raise _NotNative("contains a run-time loop")
-        elif isinstance(op, ir.Eval):
-            _check_value(op.value, env, model, info)
-        else:
-            raise _NotNative("unsupported op %r" % type(op).__name__)
-
-
 def analyze_packet(funcs_by_stage, model, pmem_name):
-    """Analyse one packet's per-stage IR; returns :class:`PacketInfo`."""
-    info = PacketInfo(native=True)
-    try:
-        for stage_funcs in funcs_by_stage:
-            for func in stage_funcs:
-                _check_ops(func.ops, {}, model, info, pmem_name)
-    except _NotNative as exc:
-        return PacketInfo(native=False, reason=exc.reason,
-                          reads=info.reads, writes=info.writes)
-    return info
+    """One packet's nativisability proof (see
+    :func:`repro.analysis.absint.analyze_packet`); the former private
+    interval walker lives on only as that shared analysis."""
+    return absint.analyze_packet(funcs_by_stage, model, pmem_name)
 
 
 # ---------------------------------------------------------------------------
@@ -284,6 +88,12 @@ class _CRenderer:
     def __init__(self, model, state_layout):
         self._model = model
         self._layout = state_layout
+        self._raw_stores: FrozenSet[int] = frozenset()
+
+    def set_raw_stores(self, raw_stores):
+        """Install the current packet's proof of already-canonical
+        stores (ids of write ops whose mask/sign-fold may be elided)."""
+        self._raw_stores = raw_stores
 
     def value(self, value):
         if isinstance(value, ir.Const):
@@ -355,7 +165,10 @@ class _CRenderer:
 
     def _store_value(self, op):
         source = self.value(op.value)
-        if op.width is None:
+        if op.width is None or id(op) in self._raw_stores:
+            # Either the pass pipeline or the abstract interpreter
+            # proved the value canonical for the declared dtype; the
+            # mask/sign-fold would be a no-op.
             return source
         if op.signed:
             return "h_cansig(%s, %d)" % (source, op.width)
@@ -685,6 +498,7 @@ def render_native_source(table, model, state_layout):
         native_pcs.add(pc)
         reads |= info.reads
         writes |= info.writes
+        renderer.set_raw_stores(info.raw_stores)
         per_stage = []
         for stage, funcs in enumerate(funcs_by_stage):
             if not funcs:
@@ -775,6 +589,7 @@ def dump_program_c(model, program, stream=None):
             out.write("\n/* pc=0x%x: python fallback (%s) */\n"
                       % (pc, info.reason))
             continue
+        renderer.set_raw_stores(info.raw_stores)
         out.write("\n/* pc=0x%x: native */\n" % pc)
         for stage, funcs in enumerate(funcs_by_stage):
             if not funcs:

@@ -71,6 +71,7 @@ class PortableTable:
     instruction_count: int
     word_count: int
     schedule_safety: Optional[Dict[int, str]] = None
+    proofs: Optional[Dict[int, object]] = None
     _code: Optional[object] = field(default=None, repr=False, compare=False)
     _namespace: Optional[dict] = field(default=None, repr=False, compare=False)
 
@@ -148,6 +149,9 @@ class PortableTable:
                 if self.schedule_safety is not None else None
             ),
             ir_by_stage=ir_by_stage,
+            proofs=(
+                dict(self.proofs) if self.proofs is not None else None
+            ),
         )
 
     # -- (de)serialisation --------------------------------------------------
@@ -174,12 +178,23 @@ class PortableTable:
                 dict(self.schedule_safety)
                 if self.schedule_safety is not None else None
             ),
+            "proofs": self._proofs_payload(),
             "code": self.code() if with_code else None,
         }
 
+    def _proofs_payload(self):
+        if self.proofs is None:
+            return None
+        from repro.analysis import absint
+
+        return absint.proofs_to_payload(self.proofs)
+
     @classmethod
     def from_payload(cls, payload):
+        from repro.analysis import absint
+
         return cls(
+            proofs=absint.proofs_from_payload(payload.get("proofs")),
             level=payload["level"],
             model_name=payload["model"],
             program_name=payload["program"],
@@ -358,6 +373,29 @@ def build_portable_table(model, program, level="sequenced", jobs=None,
             for pc, verdict in sorted(safety.items()):
                 observer.on_hazard_verdict(pc, verdict)
 
+        from repro.analysis import absint
+        from repro.simcc import verify
+
+        if verify.enabled():
+            with _obs.span(observer, "simcc.verify",
+                           functions=len(functions)):
+                for func in functions:
+                    verify.verify_function(func, model, context="portable")
+
+        by_name = {func.name: func for func in functions}
+        with _obs.span(observer, "simcc.absint",
+                       packets=len(table_spec)):
+            proofs = {
+                pc: absint.analyze_packet(
+                    [
+                        [by_name[name] for name in stage_names]
+                        for stage_names in per_stage
+                    ],
+                    model, pmem_name,
+                )
+                for pc, (per_stage, _words, _insns) in table_spec.items()
+            }
+
     return PortableTable(
         level=level,
         model_name=model.name,
@@ -368,4 +406,5 @@ def build_portable_table(model, program, level="sequenced", jobs=None,
         instruction_count=len(tasks),
         word_count=len(tasks),
         schedule_safety=safety,
+        proofs=proofs,
     )

@@ -20,6 +20,22 @@ settings.register_profile(
 )
 settings.load_profile("repro")
 
+
+@pytest.fixture(scope="session", autouse=True)
+def _verify_ir_everywhere():
+    """Run the whole suite with the IR verifier armed.
+
+    Every ``run_passes`` call in every test then checks well-formedness
+    before and after each optimisation pass, so a pass-pipeline bug
+    fails loudly in whichever test first lowers IR -- not as a
+    miscompile three layers later.
+    """
+    from repro.simcc import verify
+
+    previous = verify.set_verify_default(True)
+    yield
+    verify.set_verify_default(previous)
+
 # A small but feature-complete model used by unit tests that need full
 # control over the description (distinct from the shipped tinydsp).
 TESTMODEL_SOURCE = r"""

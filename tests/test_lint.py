@@ -1,4 +1,6 @@
-"""Tests for the VLIW packet linter."""
+"""Tests for the VLIW packet linter and the IR diagnostic codes."""
+
+import json
 
 import pytest
 
@@ -89,6 +91,148 @@ class TestPacketLint:
         halt
 """, lint=False)
         assert program.lint_warnings == []
+
+
+# A testmodel variant with a ``bad`` instruction whose behaviour stores
+# to a constant out-of-range data-memory index: the abstract interpreter
+# proves the store always faults, so linting a program that uses it
+# exercises the ``ir.trap`` (IR002) diagnostic end to end.
+def _trap_capable_source():
+    from tests.conftest import TESTMODEL_SOURCE
+
+    return TESTMODEL_SOURCE.replace(
+        "nop || add || ldi || st || brnz",
+        "nop || add || ldi || st || bad || brnz",
+    ).replace(
+        "OPERATION brnz IN pipe.EX {",
+        """OPERATION bad IN pipe.EX {
+    DECLARE { GROUP src = { reg }; }
+    CODING { 0b0110 src 0bxxxxxxxx }
+    SYNTAX { "bad" src }
+    BEHAVIOR { dmem[100] = src; }
+}
+
+OPERATION brnz IN pipe.EX {""",
+        1,
+    )
+
+
+class TestDiagnosticCodes:
+    """Stable IR-level diagnostic codes (IR001/IR002/IR003)."""
+
+    TRAPPING = """
+        ldi r1, 5
+        bad r1
+        halt
+"""
+    UNREACHABLE = """
+        br 2
+        ldi r1, 1
+        halt
+"""
+
+    @pytest.fixture(scope="class")
+    def trap_model(self):
+        from repro.lisa.semantics import compile_source
+
+        return compile_source(_trap_capable_source(), "trapmodel.lisa")
+
+    @pytest.fixture(scope="class")
+    def trap_tools(self, trap_model):
+        from repro.api import build_toolset
+
+        return build_toolset(trap_model)
+
+    def test_provable_trap_gets_ir002(self, trap_model, trap_tools):
+        from repro.analysis import analyze_program
+
+        program = trap_tools.assembler.assemble_text(
+            self.TRAPPING, name="trapping"
+        )
+        result = analyze_program(trap_model, program)
+        traps = [f for f in result.report if f.check == "ir.trap"]
+        assert traps, "expected an ir.trap finding"
+        finding = traps[0]
+        assert finding.severity == "warning"
+        assert finding.code == "IR002"
+        assert "outside" in finding.message
+        # Warnings fail only under --Werror.
+        assert result.report.exit_code() == 0
+        assert result.report.exit_code(werror=True) == 1
+
+    def test_unreachable_packet_gets_ir001(self, tinydsp, tinydsp_tools):
+        from repro.analysis import analyze_program
+
+        program = tinydsp_tools.assembler.assemble_text(
+            self.UNREACHABLE, name="unreachable"
+        )
+        result = analyze_program(tinydsp, program)
+        unreachable = [
+            f for f in result.report if f.check == "cfg.unreachable"
+        ]
+        assert unreachable, "expected a cfg.unreachable finding"
+        assert unreachable[0].code == "IR001"
+        assert unreachable[0].severity == "note"
+
+    def test_finding_str_includes_code(self, trap_model, trap_tools):
+        from repro.analysis import analyze_program
+
+        program = trap_tools.assembler.assemble_text(
+            self.TRAPPING, name="trapping"
+        )
+        result = analyze_program(trap_model, program)
+        finding = [f for f in result.report if f.check == "ir.trap"][0]
+        text = str(finding)
+        assert "[IR002]" in text
+        assert text.startswith("0x")
+        # Findings without a code keep the legacy two-part rendering.
+        from repro.analysis.report import Finding
+
+        plain = Finding("warning", 4, "hazard.raw", "conflict")
+        assert "[" not in str(plain)
+
+    def test_codes_emitted_in_json(self, tmp_path, capsys):
+        from repro.cli import lint_main
+
+        model_path = tmp_path / "trapmodel.lisa"
+        model_path.write_text(_trap_capable_source())
+        asm_path = tmp_path / "trapping.asm"
+        asm_path.write_text(self.TRAPPING)
+
+        exit_code = lint_main([str(model_path), str(asm_path), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        codes = {
+            finding["check"]: finding["code"]
+            for finding in payload["findings"]
+        }
+        assert codes.get("ir.trap") == "IR002"
+        assert all("code" in finding for finding in payload["findings"])
+
+    def test_werror_honours_coded_warnings(self, tmp_path, capsys):
+        from repro.cli import lint_main
+
+        model_path = tmp_path / "trapmodel.lisa"
+        model_path.write_text(_trap_capable_source())
+        asm_path = tmp_path / "trapping.asm"
+        asm_path.write_text(self.TRAPPING)
+
+        exit_code = lint_main(
+            [str(model_path), str(asm_path), "--json", "--Werror"]
+        )
+        capsys.readouterr()
+        assert exit_code == 1
+
+    def test_clean_program_has_no_coded_findings(
+        self, testmodel, testmodel_tools
+    ):
+        from repro.analysis import analyze_program
+
+        program = testmodel_tools.assembler.assemble_text(
+            "ldi r1, 3\nst r1, 7\nhalt\n", name="clean"
+        )
+        result = analyze_program(testmodel, program)
+        assert not [f for f in result.report if f.code]
 
 
 class TestShippedAppsLintClean:

@@ -243,6 +243,231 @@ class TestSelfModifyingCode:
             simulator._guard_target(None)
 
 
+class TestGuardElision:
+    """Proof-gated elision of the guard's fetch interposer.
+
+    The absint store-reachability proof shows no packet of the SMC test
+    program can store into program memory from *generated* code (its
+    only store targets dmem), so the armed guard skips the front-end
+    wrapper entirely -- and lazily re-installs it the moment an
+    out-of-band store (fault injection here) touches a covered address.
+    """
+
+    @pytest.mark.parametrize("kind", ["unfolded", "unfolded_static"])
+    def test_proof_elides_fetch_interposer(self, testmodel, smc_program,
+                                           kind):
+        observer = obs.Observer()
+        simulator = create_simulator(
+            testmodel, kind, observer=observer, on_self_modify="error"
+        )
+        simulator.load_program(smc_program)
+        guard = simulator.guard
+        assert guard.elided
+        assert guard.stats["elisions"] == 1
+        assert guard.stats["rearms"] == 0
+        # The engine's front-end is the unwrapped original.
+        frontend = simulator.engine._frontend
+        assert frontend.__name__ != "guarded_frontend"
+        counters = observer.snapshot()["counters"]
+        assert counters["resilience.guard_elisions"] == 1
+        assert obs.GUARD_ELIDE in [e.kind for e in observer.events]
+
+    def test_elided_run_is_bit_exact_and_uninstrumented(
+        self, testmodel, smc_program
+    ):
+        reference = create_simulator(testmodel, "interpretive")
+        reference.load_program(smc_program)
+        reference.run(max_cycles=10_000)
+
+        guarded = create_simulator(testmodel, "unfolded",
+                                   on_self_modify="error")
+        guarded.load_program(smc_program)
+        stats = guarded.run(max_cycles=10_000)
+        assert guarded.guard.elided  # never re-armed: zero instrumentation
+        assert guarded.guard.stats["rearms"] == 0
+        assert guarded.guard.stats["self_mod_writes"] == 0
+        assert guarded.state.snapshot() == reference.state.snapshot()
+        assert stats.cycles == reference.cycles
+
+    def test_cached_sequenced_table_carries_the_proof(
+        self, testmodel, smc_program, tmp_path
+    ):
+        """Portable tables persist proofs at every level, so a cached
+        level-2 simulator elides too."""
+        cache = SimulationCache(tmp_path / "simtab")
+        simulator = create_simulator(testmodel, "compiled", cache=cache,
+                                     on_self_modify="error")
+        simulator.load_program(smc_program)
+        assert simulator.guard.elided
+        # And again from disk: the proof round-tripped the payload.
+        reloaded = create_simulator(
+            testmodel, "compiled", cache=SimulationCache(cache.root),
+            on_self_modify="error",
+        )
+        reloaded.load_program(smc_program)
+        assert reloaded.guard.elided
+
+    def test_proofless_table_stays_conservative(self, testmodel,
+                                                smc_program):
+        """The cacheless sequenced path compiles without lowered IR, so
+        no proof exists and the full interposer stays."""
+        simulator = create_simulator(testmodel, "compiled",
+                                     on_self_modify="error")
+        simulator.load_program(smc_program)
+        assert not simulator.guard.elided
+        assert simulator.guard.stats["elisions"] == 0
+        assert simulator.engine._frontend.__name__ == "guarded_frontend"
+
+    def test_interpretive_kind_never_elides(self, testmodel, smc_program):
+        simulator = create_simulator(testmodel, "interpretive",
+                                     on_self_modify="interpret")
+        simulator.load_program(smc_program)
+        assert not simulator.guard.elided
+        assert simulator.guard.stats["elisions"] == 0
+
+    def test_external_patch_rearms_then_degrades(
+        self, testmodel, smc_program, patch_word, smc_reference
+    ):
+        """Fault injection into an elided guard: the interposer comes
+        back before any stale fetch, so the run stays bit-identical to
+        the never-elided PR 5 behaviour."""
+        ref_cycles, ref_snapshot = smc_reference
+        observer = obs.Observer()
+        simulator, stats = _run_with_patch(
+            testmodel, "unfolded", "interpret", smc_program, patch_word,
+            observer=observer,
+        )
+        guard = simulator.guard
+        assert guard.stats["elisions"] == 1
+        assert guard.stats["rearms"] == 1
+        assert not guard.elided
+        assert simulator.engine._frontend.__name__ == "guarded_frontend"
+        assert stats.cycles == ref_cycles
+        assert simulator.state.snapshot() == ref_snapshot
+        counters = observer.snapshot()["counters"]
+        assert counters["resilience.guard_rearms"] == 1
+        assert obs.GUARD_REARM in [e.kind for e in observer.events]
+
+    def test_data_store_in_program_memory_does_not_rearm(
+        self, testmodel, smc_program
+    ):
+        """A store outside every packet is data, not self-modification:
+        the elision must survive it."""
+        simulator = create_simulator(testmodel, "unfolded",
+                                     on_self_modify="error")
+        simulator.load_program(smc_program)
+        simulator.state.write_memory("pmem", 200, 0x1234)
+        assert simulator.guard.elided
+        assert simulator.guard.stats["rearms"] == 0
+        assert simulator.guard.stats["program_writes"] == 1
+
+
+# A testmodel variant whose ``stp`` instruction stores a register into
+# program memory: programs using it are provably self-modify-capable,
+# so the guard keeps its full fetch interposer.
+SMC_CAPABLE_SOURCE = None  # built lazily from the conftest source
+
+
+def _smc_capable_model():
+    from repro.lisa.semantics import compile_source
+    from tests.conftest import TESTMODEL_SOURCE
+
+    source = TESTMODEL_SOURCE.replace(
+        "nop || add || ldi || st || brnz",
+        "nop || add || ldi || st || stp || brnz",
+    ).replace(
+        "OPERATION brnz IN pipe.EX {",
+        """OPERATION stp IN pipe.EX {
+    DECLARE { GROUP src = { reg }; LABEL addr; }
+    CODING { 0b0110 src addr[6] 0bxx }
+    SYNTAX { "stp" src "," addr }
+    BEHAVIOR { pmem[addr] = src; }
+}
+
+OPERATION brnz IN pipe.EX {""",
+        1,
+    )
+    return compile_source(source, "smcmodel.lisa")
+
+
+class TestProofGatedElision:
+    """Programs that *can* store to program memory keep the full guard."""
+
+    # The program overwrites the nop at ``target:`` with a nop encoding
+    # (word 0) loaded through r1 -- a genuine self-modifying store whose
+    # effect happens to be idempotent, so the run is comparable across
+    # kinds without decoding surprises.
+    SELF_PATCH = """
+        ldi r1, 0
+        stp r1, target
+        ldi r2, 7
+target: nop
+        st r2, 7
+        halt
+"""
+
+    @pytest.fixture(scope="class")
+    def smc_model(self):
+        return _smc_capable_model()
+
+    @pytest.fixture(scope="class")
+    def smc_tools(self, smc_model):
+        from repro.api import build_toolset
+
+        return build_toolset(smc_model)
+
+    @pytest.fixture(scope="class")
+    def self_patch_program(self, smc_tools):
+        return smc_tools.assembler.assemble_text(
+            self.SELF_PATCH, name="selfpatch"
+        )
+
+    def test_store_capable_program_is_not_elided(
+        self, smc_model, self_patch_program
+    ):
+        simulator = create_simulator(smc_model, "unfolded",
+                                     on_self_modify="interpret")
+        simulator.load_program(self_patch_program)
+        guard = simulator.guard
+        assert not guard.elided
+        assert guard.stats["elisions"] == 0
+        assert simulator.engine._frontend.__name__ == "guarded_frontend"
+        # The proof names the reason: pmem is a reachable store target.
+        from repro.analysis import absint
+
+        targets = absint.table_store_resources(simulator.table, smc_model)
+        assert "pmem" in targets
+
+    @pytest.mark.parametrize("policy", ["recompile", "interpret"])
+    def test_self_patch_matches_interpretive(
+        self, smc_model, self_patch_program, policy
+    ):
+        reference = create_simulator(smc_model, "interpretive",
+                                     on_self_modify="interpret")
+        reference.load_program(self_patch_program)
+        reference.run(max_cycles=10_000)
+        assert reference.guard.stats["self_mod_writes"] == 1
+
+        simulator = create_simulator(smc_model, "unfolded",
+                                     on_self_modify=policy)
+        simulator.load_program(self_patch_program)
+        stats = simulator.run(max_cycles=10_000)
+        assert simulator.guard.stats["self_mod_writes"] == 1
+        assert simulator.guard.stats["elisions"] == 0
+        assert simulator.state.snapshot() == reference.state.snapshot()
+        assert stats.cycles == reference.cycles
+
+    def test_self_patch_error_policy_raises(
+        self, smc_model, self_patch_program
+    ):
+        simulator = create_simulator(smc_model, "unfolded",
+                                     on_self_modify="error")
+        simulator.load_program(self_patch_program)
+        assert not simulator.guard.elided
+        with pytest.raises(StaleTableError):
+            simulator.run(max_cycles=10_000)
+
+
 class TestWatchdog:
     def test_run_raises_typed_timeout(self, testmodel, smc_program):
         simulator = create_simulator(testmodel, "compiled")

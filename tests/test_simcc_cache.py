@@ -269,6 +269,82 @@ class TestFormatV3Migration:
         assert reopened.stats["stores"] == 1
 
 
+class TestFormatV4Migration:
+    """Format 5 added persisted absint proofs: a v4 entry in this
+    version's namespace must read as one clean miss, reported through
+    the observer as a single ``prior_format`` cache event -- mirroring
+    the v3 behaviour before it."""
+
+    def _downgrade(self, testmodel, program, cache):
+        import marshal
+
+        from repro.simcc.cache import _MAGIC
+
+        _load(testmodel, program, cache)
+        path = cache.entry_path(
+            table_digest(testmodel, program, "sequenced")
+        )
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        payload = marshal.loads(blob[len(_MAGIC):])
+        payload["meta"]["format"] = 4
+        with open(path, "wb") as handle:
+            handle.write(_MAGIC + marshal.dumps(payload))
+        return path
+
+    def test_v4_entry_is_clean_miss(self, testmodel, program, cache):
+        import os
+
+        path = self._downgrade(testmodel, program, cache)
+        reopened = SimulationCache(cache.root, max_memory_entries=0)
+        assert reopened.load_portable(testmodel, program,
+                                      "sequenced") is None
+        assert reopened.stats["misses"] == 1
+        assert reopened.stats["format_misses"] == 1
+        assert reopened.stats["corrupt_entries"] == 0
+        assert os.path.exists(path)  # left alone, not quarantined
+
+        # A full reload recompiles and republishes over it.
+        table = _load(testmodel, program, reopened)
+        assert table.word_count == 5
+        assert reopened.stats["stores"] == 1
+
+    def test_prior_format_miss_emits_one_flagged_event(
+        self, testmodel, program, cache
+    ):
+        from repro import obs
+
+        self._downgrade(testmodel, program, cache)
+        reopened = SimulationCache(cache.root, max_memory_entries=0)
+        sink = obs.ListSink()
+        observer = obs.Observer(sinks=(sink,))
+        simcc = generate_simulation_compiler(testmodel, validate=False)
+        state, control = _fresh_engine(testmodel, program)
+        reopened.load_table(simcc, program, state, control,
+                            level="sequenced", observer=observer)
+        misses = [event for event in sink.events
+                  if event.kind == obs.CACHE
+                  and event.args["outcome"] == "miss"]
+        assert len(misses) == 1
+        assert misses[0].args.get("prior_format") is True
+
+    def test_current_format_miss_is_not_flagged(self, testmodel, program,
+                                                cache):
+        from repro import obs
+
+        sink = obs.ListSink()
+        observer = obs.Observer(sinks=(sink,))
+        simcc = generate_simulation_compiler(testmodel, validate=False)
+        state, control = _fresh_engine(testmodel, program)
+        cache.load_table(simcc, program, state, control,
+                         level="sequenced", observer=observer)
+        misses = [event for event in sink.events
+                  if event.kind == obs.CACHE
+                  and event.args["outcome"] == "miss"]
+        assert len(misses) == 1
+        assert "prior_format" not in misses[0].args
+
+
 class TestNativeArtifacts:
     """Native burst artifacts (.c + .so + metadata) in the cache."""
 
