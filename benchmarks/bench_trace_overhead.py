@@ -14,7 +14,14 @@ recording) are measured alongside for the record -- they are expected
 to cost real time; the point of the dual-path design is that only
 people who ask for tracing pay it.
 
-Writes ``BENCH_trace_overhead.json`` so CI can track the ratio.
+The native leg holds the in-burst telemetry to its own bar: an
+observer-attached (counters-mode) native ``unfolded_static`` run must
+keep at least ``NATIVE_MIN_TELEMETRY_SPEEDUP``x over the Python
+``unfolded_static`` path -- profiling must not demote bursts back to
+the per-cycle loop.  Skipped silently when the host has no C
+toolchain (the JSON records ``"native": null``).
+
+Writes ``BENCH_trace_overhead.json`` so CI can track the ratios.
 """
 
 from __future__ import annotations
@@ -35,6 +42,15 @@ MAX_DISABLED_OVERHEAD = 1.05
 #: Best-of-N timing per configuration, re-raced on a noisy first try.
 TRIALS = 5
 RETRIES = 3
+
+#: The native-telemetry bar: a counters-mode observed native run must
+#: keep at least this speedup over the Python ``unfolded_static`` path.
+NATIVE_MIN_TELEMETRY_SPEEDUP = 5.0
+
+#: The native leg runs a longer FIR than the shared fixture: burst
+#: setup and the per-burst telemetry flush are fixed costs, so the
+#: speedup claim needs enough cycles to measure the steady state.
+NATIVE_FIR_ARGS = dict(taps=16, samples=512)
 
 
 class _BaselinePipeline:
@@ -119,9 +135,11 @@ class _BaselinePipeline:
         return self.cycles - start
 
 
-def _fresh_engine(model, program, baseline=False, observer_factory=None):
+def _fresh_engine(model, program, baseline=False, observer_factory=None,
+                  kind="compiled", backend="auto"):
     observer = observer_factory() if observer_factory else None
-    simulator = create_simulator(model, "compiled", observer=observer)
+    simulator = create_simulator(model, kind, observer=observer,
+                                 backend=backend)
     simulator.load_program(program)
     if baseline:
         return _BaselinePipeline(
@@ -136,13 +154,60 @@ def _best_run_seconds(model, program, max_cycles, **kwargs):
     (fresh state per trial; load/compile time excluded)."""
     best = float("inf")
     cycles = None
+    engine = None
     for _ in range(TRIALS):
         engine = _fresh_engine(model, program, **kwargs)
         start = time.perf_counter()
         engine.run(max_cycles)
         best = min(best, time.perf_counter() - start)
         cycles = engine.cycles
-    return best, cycles
+    return best, cycles, engine
+
+
+def _native_telemetry_leg(max_cycles):
+    """Race the observed native burst path against Python
+    ``unfolded_static``; None when the host cannot compile C."""
+    from repro.apps import build_fir
+    from repro.simcc.native import native_available
+
+    if not native_available():
+        return None
+    model, program = load_app_program(
+        build_fir("c62x", **NATIVE_FIR_ARGS)
+    )
+
+    python_s, python_cycles, _ = _best_run_seconds(
+        model, program, max_cycles,
+        kind="unfolded_static", backend="python",
+    )
+    counters_s, counters_cycles, counters_engine = _best_run_seconds(
+        model, program, max_cycles,
+        kind="unfolded_static", backend="native",
+        observer_factory=lambda: obs.Observer(mode=obs.COUNTERS_MODE),
+    )
+    profile_s, profile_cycles, profile_engine = _best_run_seconds(
+        model, program, max_cycles,
+        kind="unfolded_static", backend="native",
+        observer_factory=lambda: obs.Observer(mode=obs.PROFILE_MODE),
+    )
+    assert counters_cycles == python_cycles
+    assert profile_cycles == python_cycles
+    # The tentpole claim: observers in counters/profile mode must not
+    # demote the native engine to the per-cycle Python path.
+    assert counters_engine.dispatch_counts["bursts"] > 0
+    assert profile_engine.dispatch_counts["bursts"] > 0
+
+    return {
+        "workload": dict(NATIVE_FIR_ARGS),
+        "cycles": python_cycles,
+        "python_unfolded_static_seconds": python_s,
+        "counters_observed_seconds": counters_s,
+        "profile_observed_seconds": profile_s,
+        "counters_speedup": python_s / counters_s,
+        "profile_speedup": python_s / profile_s,
+        "bursts": counters_engine.dispatch_counts["bursts"],
+        "threshold": NATIVE_MIN_TELEMETRY_SPEEDUP,
+    }
 
 
 def test_trace_overhead(benchmark, fir_app):
@@ -153,23 +218,24 @@ def test_trace_overhead(benchmark, fir_app):
     # Race disabled vs the replica; re-race on scheduler noise.
     ratio = baseline_s = disabled_s = None
     for _ in range(RETRIES):
-        baseline_s, baseline_cycles = _best_run_seconds(
+        baseline_s, baseline_cycles, _ = _best_run_seconds(
             model, program, max_cycles, baseline=True)
-        disabled_s, disabled_cycles = _best_run_seconds(
+        disabled_s, disabled_cycles, _ = _best_run_seconds(
             model, program, max_cycles)
         assert disabled_cycles == baseline_cycles
         ratio = disabled_s / baseline_s
         if ratio <= MAX_DISABLED_OVERHEAD:
             break
 
-    metrics_s, _ = _best_run_seconds(
+    metrics_s, _, _ = _best_run_seconds(
         model, program, max_cycles,
         observer_factory=lambda: obs.Observer(record=False),
     )
-    full_s, _ = _best_run_seconds(
+    full_s, _, _ = _best_run_seconds(
         model, program, max_cycles,
         observer_factory=obs.Observer,
     )
+    native = _native_telemetry_leg(max_cycles)
 
     report = ExperimentReport(
         "BENCH-trace-overhead",
@@ -185,6 +251,9 @@ def test_trace_overhead(benchmark, fir_app):
         disabled_ratio=ratio,
         metrics_only_s=metrics_s,
         full_trace_s=full_s,
+        native_counters_speedup=(
+            native["counters_speedup"] if native else None
+        ),
     )
     report.emit()
 
@@ -200,6 +269,7 @@ def test_trace_overhead(benchmark, fir_app):
         "metrics_only_overhead_ratio": metrics_s / baseline_s,
         "full_trace_overhead_ratio": full_s / baseline_s,
         "threshold": MAX_DISABLED_OVERHEAD,
+        "native": native,
     }
     publish_json("BENCH_trace_overhead.json", payload)
 
@@ -208,6 +278,17 @@ def test_trace_overhead(benchmark, fir_app):
         "pre-instrumentation baseline %.4fs (bar: %.2fx)"
         % (disabled_s, ratio, baseline_s, MAX_DISABLED_OVERHEAD)
     )
+    if native is not None:
+        assert native["counters_speedup"] \
+            >= NATIVE_MIN_TELEMETRY_SPEEDUP, (
+                "counters-mode observed native run %.4fs keeps only "
+                "%.2fx over the Python unfolded_static path %.4fs "
+                "(bar: %.1fx)"
+                % (native["counters_observed_seconds"],
+                   native["counters_speedup"],
+                   native["python_unfolded_static_seconds"],
+                   NATIVE_MIN_TELEMETRY_SPEEDUP)
+            )
 
     benchmark.pedantic(
         lambda: _fresh_engine(model, program).run(max_cycles),

@@ -52,6 +52,8 @@ from repro.obs.events import (
     BUBBLE,
     CACHE,
     CHECKPOINT,
+    COUNTERS_MODE,
+    DEFAULT_EVENT_CAPACITY,
     EVENT_KINDS,
     FALLBACK,
     FAULT,
@@ -65,6 +67,8 @@ from repro.obs.events import (
     MEM_WRITE,
     NATIVE,
     NATIVE_FALLBACK,
+    OBSERVER_MODES,
+    PROFILE_MODE,
     REG_WRITE,
     RESTORE,
     RUN_END,
@@ -72,6 +76,7 @@ from repro.obs.events import (
     SQUASH,
     STALL,
     TIMEOUT,
+    TRACE_MODE,
     Observer,
     TraceEvent,
 )
@@ -80,13 +85,16 @@ from repro.obs.export import (
     text_summary,
     to_chrome_trace,
     to_jsonl_lines,
+    to_openmetrics,
     write_metrics,
     write_trace,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import hot_region_report
 from repro.obs.sinks import (
     NULL_SINK,
     CallbackSink,
+    FlightRecorder,
     JsonLinesSink,
     ListSink,
     NullSink,
@@ -181,15 +189,19 @@ def opcode_labeler(model, program):
 
 
 __all__ = [
-    "BUBBLE", "CACHE", "CHECKPOINT", "EVENT_KINDS", "FALLBACK", "FAULT",
+    "BUBBLE", "CACHE", "CHECKPOINT", "COUNTERS_MODE",
+    "DEFAULT_EVENT_CAPACITY", "EVENT_KINDS", "FALLBACK", "FAULT",
     "FETCH", "FLUSH", "GUARD_ELIDE", "GUARD_REARM", "GUARD_RESOLVE",
     "HALT", "HAZARD", "MEM_WRITE", "NATIVE", "NATIVE_FALLBACK",
-    "NULL_SINK", "NULL_SPAN", "REG_WRITE",
+    "NULL_SINK", "NULL_SPAN", "OBSERVER_MODES", "PROFILE_MODE",
+    "REG_WRITE",
     "RESTORE", "RUN_END", "SELF_MODIFY", "SQUASH", "STALL", "TIMEOUT",
-    "TRACE_FORMATS",
-    "CallbackSink", "JsonLinesSink", "ListSink", "MetricsRegistry",
+    "TRACE_FORMATS", "TRACE_MODE",
+    "CallbackSink", "FlightRecorder", "JsonLinesSink", "ListSink",
+    "MetricsRegistry",
     "NullSink", "Observer", "Sink", "Span", "TraceEvent",
-    "get_observer", "install", "opcode_labeler", "span", "text_summary",
-    "to_chrome_trace", "to_jsonl_lines", "uninstall", "write_metrics",
-    "write_trace",
+    "get_observer", "hot_region_report", "install", "opcode_labeler",
+    "span", "text_summary",
+    "to_chrome_trace", "to_jsonl_lines", "to_openmetrics", "uninstall",
+    "write_metrics", "write_trace",
 ]

@@ -24,6 +24,7 @@ creation; ``clock`` is injectable for deterministic tests.
 from __future__ import annotations
 
 import time
+from collections import deque
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanTimer
@@ -60,6 +61,27 @@ EVENT_KINDS = (
     NATIVE, NATIVE_FALLBACK, GUARD_ELIDE, GUARD_REARM,
 )
 
+# -- observer modes ----------------------------------------------------------
+
+#: Per-cycle trace events plus full metrics (the historical behaviour).
+#: The native backend cannot emit per-cycle events from inside a burst,
+#: so trace-mode runs take the per-cycle Python path.
+TRACE_MODE = "trace"
+#: Metrics plus per-packet cycle attribution (``sim.cycles_by_pc``), no
+#: per-cycle event objects -- native bursts stay enabled, flushing their
+#: telemetry side-buffer into the registry at burst boundaries.
+PROFILE_MODE = "profile"
+#: Metrics only (no cycle attribution, no per-cycle events); the
+#: cheapest always-on configuration, also burst-compatible.
+COUNTERS_MODE = "counters"
+
+OBSERVER_MODES = (TRACE_MODE, PROFILE_MODE, COUNTERS_MODE)
+
+#: Default bound on the recorded-event ring (satellite: long traced runs
+#: must not grow memory without limit).  Pass ``event_capacity=None``
+#: for the old unbounded list.
+DEFAULT_EVENT_CAPACITY = 1 << 18
+
 
 class TraceEvent:
     """One structured trace record: timestamp, kind, open payload."""
@@ -91,18 +113,69 @@ class Observer:
     label (typically the disassembly of the packet issued there); it is
     consulted only at :meth:`finish_run` to fold per-address dispatch
     counts into per-opcode counts -- never on the hot path.
+
+    ``mode`` selects how much the per-cycle hook helpers produce:
+
+    * ``"trace"`` (default) -- per-cycle trace events plus metrics plus
+      per-packet cycle attribution.  Native bursts are disabled (events
+      cannot be emitted from C), so runs take the per-cycle path.
+    * ``"profile"`` -- metrics plus cycle attribution, no per-cycle
+      event objects.  Native bursts stay enabled; the engine flushes
+      its telemetry side-buffer here at burst boundaries.
+    * ``"counters"`` -- metrics only; also burst-compatible.
+
+    ``event_capacity`` bounds the recorded-event buffer as a ring: once
+    full, the oldest event is evicted and the ``obs.events_dropped``
+    counter ticks.  ``None`` keeps the historical unbounded list.
     """
 
     def __init__(self, sinks=(), metrics=None, clock=None, labeler=None,
-                 record=True):
+                 record=True, mode=TRACE_MODE,
+                 event_capacity=DEFAULT_EVENT_CAPACITY):
+        if mode not in OBSERVER_MODES:
+            raise ValueError(
+                "unknown observer mode %r (choose from %s)"
+                % (mode, ", ".join(OBSERVER_MODES))
+            )
         self._clock = clock if clock is not None else time.perf_counter
         self._epoch = self._clock()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.sinks = list(sinks)
-        self.events = [] if record else None
+        self.mode = mode
+        self._cycle_events = mode == TRACE_MODE
+        self._attr_cycles = mode != COUNTERS_MODE
+        self._last_issue_pc = None
+        self._event_capacity = event_capacity
+        if not record:
+            self.events = None
+        elif event_capacity is None:
+            self.events = []
+        else:
+            self.events = deque(maxlen=event_capacity)
         self.spans = []
         self.labeler = labeler
         self._span_stack = []
+
+    @property
+    def wants_cycle_events(self):
+        """Whether this observer needs one event object per cycle.
+
+        The native burst engine checks this to decide whether an
+        attached observer forces the per-cycle Python path (trace mode)
+        or can be served by the in-burst telemetry flush
+        (profile/counters modes).
+        """
+        return self._cycle_events
+
+    @property
+    def last_issue_pc(self):
+        """The address of the most recently issued packet (or None).
+
+        Stall and drain bubbles are attributed to this packet; the
+        burst engine seeds the telemetry side-buffer with it so the
+        attribution rule is identical across the Python and C paths.
+        """
+        return self._last_issue_pc
 
     # -- clock ----------------------------------------------------------------
 
@@ -115,8 +188,12 @@ class Observer:
     def emit(self, kind, **args):
         """Record one event and forward it to every sink."""
         event = TraceEvent(self.now(), kind, args)
-        if self.events is not None:
-            self.events.append(event)
+        events = self.events
+        if events is not None:
+            if (self._event_capacity is not None
+                    and len(events) == self._event_capacity):
+                self.metrics.inc("obs.events_dropped")
+            events.append(event)
         for sink in self.sinks:
             sink.event(event)
         return event
@@ -152,20 +229,30 @@ class Observer:
         metrics.bump("sim.fetch_by_pc", pc)
         metrics.bump("sim.packet_sizes", slot.insn_count)
         metrics.observe("sim.packet_insns", slot.insn_count)
-        self.emit(
-            FETCH, cycle=cycle, pc=pc, words=slot.words,
-            insns=slot.insn_count, label=slot.label,
-        )
+        if self._attr_cycles:
+            metrics.bump("sim.cycles_by_pc", pc)
+        self._last_issue_pc = pc
+        if self._cycle_events:
+            self.emit(
+                FETCH, cycle=cycle, pc=pc, words=slot.words,
+                insns=slot.insn_count, label=slot.label,
+            )
 
     def on_bubble(self, cycle, reason):
         metrics = self.metrics
         metrics.inc("sim.bubble_cycles")
         metrics.bump("sim.bubbles_by_reason", reason)
-        self.emit(BUBBLE, cycle=cycle, reason=reason)
+        # A bubble's cycle is billed to the packet that caused it: the
+        # most recently issued one (stall latency, drain tail).
+        if self._attr_cycles and self._last_issue_pc is not None:
+            metrics.bump("sim.cycles_by_pc", self._last_issue_pc)
+        if self._cycle_events:
+            self.emit(BUBBLE, cycle=cycle, reason=reason)
 
     def on_squash(self, cycle, slots):
         self.metrics.inc("sim.squashed_slots", slots)
-        self.emit(SQUASH, cycle=cycle, slots=slots)
+        if self._cycle_events:
+            self.emit(SQUASH, cycle=cycle, slots=slots)
 
     def on_static_cycle(self):
         self.metrics.inc("sched.static_cycles")
@@ -177,15 +264,18 @@ class Observer:
 
     def on_stall(self, stage, cycles):
         self.metrics.inc("control.stalls")
-        self.emit(STALL, stage=stage, cycles=cycles)
+        if self._cycle_events:
+            self.emit(STALL, stage=stage, cycles=cycles)
 
     def on_flush(self, stage):
         self.metrics.inc("control.flushes")
-        self.emit(FLUSH, stage=stage)
+        if self._cycle_events:
+            self.emit(FLUSH, stage=stage)
 
     def on_halt(self, stage):
         self.metrics.inc("control.halts")
-        self.emit(HALT, stage=stage)
+        if self._cycle_events:
+            self.emit(HALT, stage=stage)
 
     # -- state hooks -----------------------------------------------------------
 
@@ -229,6 +319,92 @@ class Observer:
         """The native backend degraded to the Python module path."""
         self.metrics.inc("native.fallbacks")
         self.emit(NATIVE_FALLBACK, reason=reason, **args)
+
+    def on_burst_telemetry(self, pc_base, dispatch, cycles, insns,
+                           drain_bubbles, stall_bubbles, squashed,
+                           ctrl_stalls, ctrl_flushes, ctrl_halts,
+                           stray_cycles, stray_pc, last_pc):
+        """Fold one native burst's telemetry side-buffer into metrics.
+
+        Called by :class:`repro.simcc.native.NativePipeline` after each
+        burst in profile/counters mode.  ``dispatch[i]`` / ``cycles[i]``
+        are per-packet counters for address ``pc_base + i``; ``insns``
+        is the per-address instruction count the packet issues.  The
+        update reproduces exactly what :meth:`on_issue` /
+        :meth:`on_bubble` / :meth:`on_squash` and the control hooks
+        would have accumulated cycle by cycle, so per-packet counters
+        are bit-identical across the Python and native paths.
+        """
+        metrics = self.metrics
+        issued = 0
+        for index, count in enumerate(dispatch):
+            if not count:
+                continue
+            pc = pc_base + index
+            size = insns[index]
+            issued += count
+            metrics.inc("sim.instructions_issued", count * size)
+            metrics.bump("sim.fetch_by_pc", pc, count)
+            metrics.bump("sim.packet_sizes", size, count)
+            metrics.observe_many("sim.packet_insns", size, count)
+        if issued:
+            metrics.inc("sim.issue_cycles", issued)
+        bubbles = drain_bubbles + stall_bubbles
+        if bubbles:
+            metrics.inc("sim.bubble_cycles", bubbles)
+        if drain_bubbles:
+            metrics.bump("sim.bubbles_by_reason", "drain", drain_bubbles)
+        if stall_bubbles:
+            metrics.bump("sim.bubbles_by_reason", "stall", stall_bubbles)
+        if squashed:
+            metrics.inc("sim.squashed_slots", squashed)
+        if ctrl_stalls:
+            metrics.inc("control.stalls", ctrl_stalls)
+        if ctrl_flushes:
+            metrics.inc("control.flushes", ctrl_flushes)
+        if ctrl_halts:
+            metrics.inc("control.halts", ctrl_halts)
+        if self._attr_cycles:
+            for index, count in enumerate(cycles):
+                if count:
+                    metrics.bump("sim.cycles_by_pc", pc_base + index, count)
+            # Bubble cycles attributed to a packet issued before the
+            # burst (and outside the compiled range) accumulate in one
+            # overflow bucket; the engine remembers which pc seeded it.
+            if stray_cycles and stray_pc is not None:
+                metrics.bump("sim.cycles_by_pc", stray_pc, stray_cycles)
+        if last_pc is not None:
+            self._last_issue_pc = last_pc
+
+    # -- flight recorder -------------------------------------------------------
+
+    def enable_flight_recorder(self, capacity=256):
+        """Attach (or resize) a bounded ring of recent events.
+
+        Returns the :class:`repro.obs.sinks.FlightRecorder`; failed runs
+        attach its :meth:`~repro.obs.sinks.FlightRecorder.snapshot` to
+        the escaping exception (``exc.flight_recording``).
+        """
+        from repro.obs.sinks import FlightRecorder
+
+        recorder = self.flight_recorder()
+        if recorder is None:
+            recorder = FlightRecorder(capacity)
+            self.sinks.append(recorder)
+        elif recorder.capacity != capacity:
+            self.sinks.remove(recorder)
+            recorder = FlightRecorder(capacity)
+            self.sinks.append(recorder)
+        return recorder
+
+    def flight_recorder(self):
+        """The attached flight recorder sink, or None."""
+        from repro.obs.sinks import FlightRecorder
+
+        for sink in self.sinks:
+            if isinstance(sink, FlightRecorder):
+                return sink
+        return None
 
     # -- resilience hooks ------------------------------------------------------
 

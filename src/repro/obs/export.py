@@ -1,17 +1,24 @@
-"""Trace exporters: JSON-lines, Chrome trace-event format, text summary.
+"""Trace exporters: JSON-lines, Chrome trace-event format, OpenMetrics
+text exposition, text summary.
 
 The Chrome trace-event output loads directly in Perfetto
 (https://ui.perfetto.dev) or ``chrome://tracing``: phase spans render
 as stacked slices on the "phases" track, per-cycle trace events as
 instants on the "simulation" track, and the run-level metrics ride
 along in ``otherData``.
+
+The OpenMetrics output (:func:`to_openmetrics`) renders the metrics
+snapshot in the Prometheus/OpenMetrics text exposition format, so a
+scrape endpoint or a textfile collector can ingest simulator counters
+directly.
 """
 
 from __future__ import annotations
 
 import json
+import re
 
-TRACE_FORMATS = ("chrome", "jsonl", "summary")
+TRACE_FORMATS = ("chrome", "jsonl", "openmetrics", "summary")
 
 _PID = 1
 _TID_SIM = 0
@@ -97,6 +104,95 @@ def _jsonable(value):
     return str(value)
 
 
+_METRIC_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _om_name(name):
+    """A metric name sanitized for OpenMetrics ([a-zA-Z0-9_:])."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", str(name))
+    if not _METRIC_NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _om_label_value(value):
+    """A label value escaped per the exposition-format rules."""
+    text = str(value)
+    return (text.replace("\\", "\\\\")
+                .replace("\"", "\\\"")
+                .replace("\n", "\\n"))
+
+
+def _om_number(value):
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        if value != value or abs(value) == float("inf"):
+            return None  # non-finite gauges are dropped, not emitted
+        return repr(value)
+    return str(value)
+
+
+def to_openmetrics(observer):
+    """The metrics snapshot in the OpenMetrics text exposition format.
+
+    * counters (and keyed counter families, one labeled sample per key)
+      become ``counter`` metrics with the mandatory ``_total`` suffix,
+    * numeric gauges become ``gauge`` metrics (non-finite values are
+      dropped -- the format has no useful NaN story for scrapers),
+    * non-numeric gauges (e.g. ``run.kind``) become ``info`` metrics
+      with the value carried as a label,
+    * histograms become ``summary`` metrics (``_count``/``_sum``) plus
+      ``_min``/``_max`` gauges.
+
+    Dots in metric names map to underscores.  The output ends with the
+    ``# EOF`` marker the OpenMetrics spec requires.
+    """
+    metrics = observer.metrics
+    lines = []
+
+    for name, value in sorted(metrics.counters.items()):
+        om = _om_name(name)
+        lines.append("# TYPE %s counter" % om)
+        lines.append("%s_total %s" % (om, _om_number(value)))
+    for family, bucket in sorted(metrics.families.items()):
+        om = _om_name(family)
+        lines.append("# TYPE %s counter" % om)
+        for key, count in sorted(
+            bucket.items(), key=lambda kv: str(kv[0])
+        ):
+            label = "0x%x" % key if isinstance(key, int) else str(key)
+            lines.append('%s_total{key="%s"} %s' % (
+                om, _om_label_value(label), _om_number(count)
+            ))
+    for name, value in sorted(metrics.gauges.items()):
+        om = _om_name(name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            rendered = _om_number(value)
+            if rendered is None:
+                continue
+            lines.append("# TYPE %s gauge" % om)
+            lines.append("%s %s" % (om, rendered))
+        else:
+            lines.append("# TYPE %s info" % om)
+            lines.append('%s_info{value="%s"} 1' % (
+                om, _om_label_value(value)
+            ))
+    for name, histogram in sorted(metrics.histograms.items()):
+        om = _om_name(name)
+        lines.append("# TYPE %s summary" % om)
+        lines.append("%s_count %d" % (om, histogram.count))
+        lines.append("%s_sum %s" % (om, _om_number(histogram.total)))
+        for suffix, extreme in (("min", histogram.min),
+                                ("max", histogram.max)):
+            if extreme is None:
+                continue
+            lines.append("# TYPE %s_%s gauge" % (om, suffix))
+            lines.append("%s_%s %s" % (om, suffix, _om_number(extreme)))
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
 def text_summary(observer, top=10):
     """A human-readable run summary: spans, counters, hot addresses."""
     metrics = observer.metrics
@@ -150,6 +246,8 @@ def write_trace(observer, path, trace_format="chrome",
             for line in to_jsonl_lines(observer):
                 handle.write(line)
                 handle.write("\n")
+        elif trace_format == "openmetrics":
+            handle.write(to_openmetrics(observer))
         else:
             handle.write(text_summary(observer))
             handle.write("\n")

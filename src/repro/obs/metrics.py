@@ -8,7 +8,7 @@ hook sites check for an attached observer first).
 
 ``snapshot()`` renders everything JSON-compatible: family keys become
 strings (ints as hex, matching program addresses), histograms become
-``{count, total, min, max}`` records.
+``{count, total, mean, min, max}`` records.
 """
 
 from __future__ import annotations
@@ -39,6 +39,22 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def observe_many(self, value, times):
+        """Merge ``times`` identical observations of ``value`` in O(1).
+
+        Bit-identical to calling :meth:`observe` ``times`` times -- the
+        native burst flush uses this to fold per-packet dispatch counts
+        into the histogram without replaying every cycle.
+        """
+        if times <= 0:
+            return
+        self.count += times
+        self.total += value * times
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
     @property
     def mean(self):
         return self.total / self.count if self.count else float("nan")
@@ -47,6 +63,7 @@ class Histogram:
         return {
             "count": self.count,
             "total": self.total,
+            "mean": self.mean if self.count else None,
             "min": self.min,
             "max": self.max,
         }
@@ -93,6 +110,13 @@ class MetricsRegistry:
         if histogram is None:
             histogram = self.histograms[name] = Histogram()
         histogram.observe(value)
+
+    def observe_many(self, name, value, times):
+        """``times`` identical histogram samples, merged in O(1)."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe_many(value, times)
 
     # -- readers --------------------------------------------------------------
 

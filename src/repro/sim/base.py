@@ -111,6 +111,18 @@ class Simulator:
             self._engine.set_observer(observer)
         return observer
 
+    def _attach_flight_recording(self, exc):
+        """Pin the observer's flight-recorder ring to a failing run's
+        exception (``exc.flight_recording``) for post-mortems."""
+        observer = self.observer
+        if observer is None:
+            return exc
+        recorder_of = getattr(observer, "flight_recorder", None)
+        recorder = recorder_of() if callable(recorder_of) else None
+        if recorder is not None:
+            exc.flight_recording = recorder.snapshot()
+        return exc
+
     # -- lifecycle -----------------------------------------------------------
 
     def load_program(self, program):
@@ -311,12 +323,13 @@ class Simulator:
                     pass  # resumability is best-effort on a timeout
             if self.observer is not None:
                 self.observer.on_timeout(exc.budget, exc.cycles, exc.limit)
+            self._attach_flight_recording(exc)
             raise
         except ReproError as exc:
             _count()
-            raise annotate_simulation_error(
+            raise self._attach_flight_recording(annotate_simulation_error(
                 exc, cycles=engine.cycles, pc=self.state.pc
-            )
+            ))
         finally:
             _count()
         stats = self.stats
@@ -340,9 +353,9 @@ class Simulator:
                     return False
                 engine.step()
         except ReproError as exc:
-            raise annotate_simulation_error(
+            raise self._attach_flight_recording(annotate_simulation_error(
                 exc, cycles=engine.cycles, pc=self.state.pc
-            )
+            ))
         timeout = SimulationTimeout(
             "run_until exceeded %d cycles" % max_cycles,
             budget="cycles", limit=max_cycles, cycles=engine.cycles,
@@ -356,6 +369,7 @@ class Simulator:
             self.observer.on_timeout(
                 timeout.budget, timeout.cycles, timeout.limit
             )
+        self._attach_flight_recording(timeout)
         raise timeout
 
     def run_to_pc(self, pc, max_cycles=50_000_000):

@@ -50,14 +50,24 @@ def maybe_wrap_native(simulator, engine):
     Degrades silently (plus one ``native.fallback`` event) to the
     unwrapped engine when the native module cannot be built -- no C
     toolchain, an unmappable model, or no packet passing the analysis.
+
+    When a profile/counters-mode observer is attached at load time, the
+    module is built with in-burst telemetry so observed runs keep
+    bursting (an observer attached *later* in those modes simply takes
+    the per-cycle Python path until the program is reloaded).
     """
     if simulator.backend != "native":
         return engine
     from repro.simcc.native import NativePipeline, build_native_module
 
+    observer = simulator.observer
+    telemetry = (
+        observer is not None
+        and not getattr(observer, "wants_cycle_events", True)
+    )
     module = build_native_module(
         simulator.model, simulator.table, cache=simulator._cache,
-        observer=simulator.observer,
+        observer=observer, telemetry=telemetry,
     )
     if module is None:
         return engine

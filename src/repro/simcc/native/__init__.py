@@ -21,7 +21,11 @@ from repro.simcc.native.backend import (
 )
 from repro.simcc.native.cgen import dump_program_c
 from repro.simcc.native.engine import NativePipeline
-from repro.simcc.native.layout import NativeUnsupported, StateLayout
+from repro.simcc.native.layout import (
+    NativeUnsupported,
+    StateLayout,
+    TelemetryRegion,
+)
 from repro.simcc.native.toolchain import find_compiler
 
 def native_available():
@@ -34,6 +38,7 @@ __all__ = [
     "NativePipeline",
     "NativeUnsupported",
     "StateLayout",
+    "TelemetryRegion",
     "artifact_key",
     "build_native_module",
     "dump_program_c",

@@ -32,7 +32,12 @@ _LOADED = {}
 
 
 class NativeModule:
-    """A loaded burst module plus everything needed to drive it."""
+    """A loaded burst module plus everything needed to drive it.
+
+    ``telemetry`` is the side-region geometry when the module was built
+    instrumented (``build_native_module(..., telemetry=True)``), None
+    for the plain byte-identical-to-before module.
+    """
 
     def __init__(self, layout, plan, burst, loader, so_path, source):
         self.layout = layout
@@ -41,6 +46,7 @@ class NativeModule:
         self.loader = loader
         self.so_path = so_path
         self.source = source
+        self.telemetry = plan.telemetry
         self.push_set = frozenset(plan.push_names)
         self.pull_set = frozenset(plan.pull_names)
 
@@ -71,17 +77,25 @@ def _load(so_path):
     return burst, loader
 
 
-def build_native_module(model, table, cache=None, observer=None):
+def build_native_module(model, table, cache=None, observer=None,
+                        telemetry=False):
     """The burst module for ``table``, or ``None`` when unavailable.
 
     ``None`` always means "use the Python path"; the reason is emitted
     as one ``native.fallback`` event when an observer is attached.
+
+    ``telemetry=True`` builds the instrumented variant whose bursts
+    count per-packet dispatches and attributed cycles into a side-region
+    of the state buffer; it caches under its own artifact key (the
+    generated C differs), so plain and instrumented artifacts coexist.
     """
     from repro import obs as _obs
 
     try:
         state_layout = L.StateLayout.build(model)
-        source, plan = cgen.render_native_source(table, model, state_layout)
+        source, plan = cgen.render_native_source(
+            table, model, state_layout, telemetry=telemetry
+        )
     except L.NativeUnsupported as exc:
         return _fallback(observer, str(exc), model=model.name)
     if not plan.native_pcs:

@@ -33,8 +33,8 @@ re-raises the matching exception type.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.analysis import absint
 from repro.simcc import ir
@@ -51,7 +51,14 @@ class _NotNative(Exception):
 
 @dataclass
 class NativePlan:
-    """Everything the engine needs to drive a compiled burst module."""
+    """Everything the engine needs to drive a compiled burst module.
+
+    ``telemetry`` is the side-region geometry of an instrumented module
+    (None for the plain one); ``metric_insns[pc - pc_base]`` is the
+    instruction count one issue of that address contributes to the
+    dispatch metrics (1 for table holes, matching the trap pseudo-slot
+    the Python front-end issues there).
+    """
 
     pc_base: int
     pc_limit: int
@@ -60,6 +67,8 @@ class NativePlan:
     reasons: Dict[int, str]
     push_names: Tuple[str, ...]
     pull_names: Tuple[str, ...]
+    telemetry: Optional[L.TelemetryRegion] = None
+    metric_insns: Tuple[int, ...] = field(default=())
 
     @property
     def n_pc(self):
@@ -439,6 +448,148 @@ int64_t repro_burst(int64_t *S, const int64_t *native_ok,
 """
 
 
+def _splice(text, old, new):
+    """``text.replace(old, new)`` asserting exactly one match.
+
+    The telemetry variants of the helper/burst templates are derived
+    from the plain ones by targeted splices; a template edit that
+    breaks a splice point must fail loudly here, not silently produce
+    an un-instrumented module.
+    """
+    count = text.count(old)
+    if count != 1:
+        raise AssertionError(
+            "telemetry splice point matched %d times (expected 1): %r"
+            % (count, old)
+        )
+    return text.replace(old, new)
+
+
+def _telemetry_defines(region):
+    """Absolute slot indices of the telemetry side-region as C macros."""
+    return "\n".join([
+        "#define TEL_LAST %d" % (region.base + L.TEL_LAST),
+        "#define TEL_STRAY %d" % (region.base + L.TEL_STRAY_CYC),
+        "#define TEL_DRAINB %d" % (region.base + L.TEL_DRAIN),
+        "#define TEL_STALLB %d" % (region.base + L.TEL_STALL),
+        "#define TEL_SQUASH %d" % (region.base + L.TEL_SQUASH),
+        "#define TEL_CSTALL %d" % (region.base + L.TEL_CTRL_STALL),
+        "#define TEL_CFLUSH %d" % (region.base + L.TEL_CTRL_FLUSH),
+        "#define TEL_CHALT %d" % (region.base + L.TEL_CTRL_HALT),
+        "#define TEL_DISP %d" % region.disp_base,
+        "#define TEL_CYC %d" % region.cyc_base,
+    ])
+
+
+def _telemetry_helpers():
+    """The helper prologue with control-request counting spliced in.
+
+    Counting mirrors the Python hooks exactly: a stall request counts
+    only after the negative-count trap check (Python validates before
+    notifying), and a halt counts both the halt and the flush it raises
+    (``request_halt`` calls ``request_flush``).
+    """
+    text = _splice(
+        _HELPERS,
+        "static void h_stall(int64_t *S, int64_t n) {\n"
+        "    if (n < 0) trap(S, 4);\n",
+        "static void h_stall(int64_t *S, int64_t n) {\n"
+        "    if (n < 0) trap(S, 4);\n"
+        "    S[TEL_CSTALL] += 1;\n",
+    )
+    text = _splice(
+        text,
+        "static void h_flush(int64_t *S) {\n",
+        "static void h_flush(int64_t *S) {\n"
+        "    S[TEL_CFLUSH] += 1;\n",
+    )
+    text = _splice(
+        text,
+        "static void h_halt(int64_t *S) {\n",
+        "static void h_halt(int64_t *S) {\n"
+        "    S[TEL_CHALT] += 1;\n",
+    )
+    return text
+
+
+#: Bubble-cycle attribution: bill the cycle to the last issued packet
+#: (stall latency and drain tail belong to the packet that caused
+#: them); cycles owed to a pre-burst, off-table packet pool in one
+#: stray bucket the engine re-attributes at flush time.
+_TEL_BUBBLE = r"""
+static void tel_bubble(int64_t *S) {
+    int64_t lp = S[TEL_LAST];
+    if (lp >= PC_BASE && lp < PC_LIMIT)
+        S[TEL_CYC + lp - PC_BASE] += 1;
+    else if (lp >= 0)
+        S[TEL_STRAY] += 1;
+}
+"""
+
+
+def _telemetry_burst():
+    """The burst driver with per-packet counting spliced in.
+
+    Off-table fetches hand back to Python (exit 2) instead of issuing
+    the native trap pseudo-slot, so the traced Python step counts them
+    with the same hooks as a pure Python run -- that keeps per-packet
+    counters bit-identical without teaching C about out-of-range
+    addresses (which cannot be indexed into the fixed-size side-region).
+    """
+    text = _splice(
+        _BURST,
+        "            if (pc >= PC_BASE && pc < PC_LIMIT &&\n"
+        "                !native_ok[pc - PC_BASE])\n"
+        "                return 2;  /* table packet needing the Python"
+        " path */\n",
+        "            if (pc < PC_BASE || pc >= PC_LIMIT)\n"
+        "                return 2;  /* off-table fetch: count it in"
+        " Python */\n"
+        "            if (!native_ok[pc - PC_BASE])\n"
+        "                return 2;  /* table packet needing the Python"
+        " path */\n",
+    )
+    text = _splice(
+        text,
+        "        if (S[HDR_HALTED]) {\n"
+        "            incoming = -1;\n"
+        "        } else if (S[HDR_STALL] > 0) {\n"
+        "            S[HDR_STALL] -= 1;\n"
+        "            incoming = -1;\n"
+        "        } else {\n"
+        "            int64_t pc = S[PC_OFF];\n"
+        "            incoming = pc;\n",
+        "        if (S[HDR_HALTED]) {\n"
+        "            incoming = -1;\n"
+        "            S[TEL_DRAINB] += 1;\n"
+        "            tel_bubble(S);\n"
+        "        } else if (S[HDR_STALL] > 0) {\n"
+        "            S[HDR_STALL] -= 1;\n"
+        "            incoming = -1;\n"
+        "            S[TEL_STALLB] += 1;\n"
+        "            tel_bubble(S);\n"
+        "        } else {\n"
+        "            int64_t pc = S[PC_OFF];\n"
+        "            incoming = pc;\n"
+        "            S[TEL_DISP + pc - PC_BASE] += 1;\n"
+        "            S[TEL_CYC + pc - PC_BASE] += 1;\n"
+        "            S[TEL_LAST] = pc;\n",
+    )
+    text = _splice(
+        text,
+        "            if (stage < S[HDR_FLUSH_BELOW]) {\n"
+        "                S[WIN_BASE + stage] = -1;\n"
+        "                continue;\n"
+        "            }\n",
+        "            if (stage < S[HDR_FLUSH_BELOW]) {\n"
+        "                S[WIN_BASE + stage] = -1;\n"
+        "                S[TEL_SQUASH] += 1;\n"
+        "                continue;\n"
+        "            }\n",
+    )
+    return text
+
+
 def render_stage_function(name, funcs, renderer):
     """One per-(pc, stage) C function concatenating the packet's IR
     functions for that stage, each in its own local scope."""
@@ -449,11 +600,18 @@ def render_stage_function(name, funcs, renderer):
     return "\n".join(lines)
 
 
-def render_native_source(table, model, state_layout):
+def render_native_source(table, model, state_layout, telemetry=False):
     """Render the full burst module for ``table``.
 
     Returns ``(c_source, plan)``; ``plan.native_pcs`` names the packets
     the analysis proved, everything else falls back per-fetch.
+
+    ``telemetry=True`` renders the instrumented variant: the buffer
+    grows a side-region of per-packet dispatch/attributed-cycle
+    counters past the resources and the burst driver increments them
+    inline.  With ``telemetry=False`` the output is byte-identical to
+    the un-instrumented module -- profiling requested is the only thing
+    that ever changes the generated C.
     """
     pmem_name = model.config.program_memory
     depth = model.pipeline.depth
@@ -467,6 +625,12 @@ def render_native_source(table, model, state_layout):
     else:
         exec_stage = depth - 1
 
+    region = None
+    if telemetry:
+        region = L.TelemetryRegion(
+            base=state_layout.total_slots, n_pc=pc_limit - pc_base
+        )
+
     renderer = _CRenderer(model, state_layout)
     native_pcs = set()
     reasons = {}
@@ -475,15 +639,24 @@ def render_native_source(table, model, state_layout):
         "/* Auto-generated native burst module (repro.simcc.native).\n"
         " * model=%s layout=%s  -- do not edit. */"
         % (model.name, state_layout.digest()[:16]),
-        _HELPERS,
+    ]
+    if region is not None:
+        chunks.append("/* telemetry: %s */" % region.describe())
+        chunks.append(_telemetry_defines(region))
+        chunks.append(_telemetry_helpers())
+    else:
+        chunks.append(_HELPERS)
+    chunks.extend([
         "#define DEPTH %d" % depth,
         "#define WIN_BASE %d" % L.WIN_BASE,
         "#define PC_OFF %d" % state_layout.pc_offset,
         "#define PC_BASE %s" % _c_int(pc_base),
         "#define PC_LIMIT %s" % _c_int(pc_limit),
         "#define EXEC_STAGE %d" % exec_stage,
-        "typedef void (*opfn)(int64_t *);",
-    ]
+    ])
+    if region is not None:
+        chunks.append(_TEL_BUBBLE)
+    chunks.append("typedef void (*opfn)(int64_t *);")
 
     stage_lists = {}
     for pc in pcs:
@@ -541,7 +714,12 @@ def render_native_source(table, model, state_layout):
                   % ", ".join(insns))
     chunks.append("static const int32_t pkt_trap[] = { %s };"
                   % ", ".join(traps))
-    chunks.append(_BURST)
+    chunks.append(_telemetry_burst() if region is not None else _BURST)
+
+    metric_insns = tuple(
+        table.slots[pc].insn_count if pc in table.slots else 1
+        for pc in range(pc_base, pc_limit)
+    )
 
     # The program counter is read and written by the burst driver, and
     # the pull of scalars is unconditional, so keep the pc in both sets.
@@ -551,6 +729,7 @@ def render_native_source(table, model, state_layout):
         pc_base=pc_base, pc_limit=pc_limit, depth=depth,
         native_pcs=native_pcs, reasons=reasons,
         push_names=tuple(sorted(push)), pull_names=tuple(sorted(pull)),
+        telemetry=region, metric_insns=metric_insns,
     )
     return "\n\n".join(chunks) + "\n", plan
 

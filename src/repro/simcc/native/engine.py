@@ -13,10 +13,17 @@ through its ``restore_window``.  The wrapped
 source of truth at every burst boundary -- checkpoints, guards and
 observers keep working unchanged.
 
-Bursts are disabled while an observer is attached (per-cycle trace
-events cannot be emitted from C; observed runs take the Python path so
-event streams stay complete) and for packets the self-modifying-code
-guard has invalidated (:meth:`NativePipeline.invalidate_native`).
+Observability: per-cycle trace events cannot be emitted from C, so an
+observer in ``trace`` mode disables bursts and the run takes the
+per-cycle Python path, events complete.  An observer in ``profile`` or
+``counters`` mode keeps bursting when the module was built with
+telemetry: the generated C counts per-packet dispatches and attributed
+cycles into a side-region of the state buffer, and the engine flushes
+that region into the observer's :class:`repro.obs.MetricsRegistry`
+after every burst -- per-packet counters come out bit-identical to a
+per-cycle traced run.  Bursts are also disabled for packets the
+self-modifying-code guard has invalidated
+(:meth:`NativePipeline.invalidate_native`).
 """
 
 from __future__ import annotations
@@ -61,7 +68,11 @@ class NativePipeline:
         self._observer = None
         layout = module.layout
         plan = module.plan
-        self._buf = layout.new_buffer()
+        self._telemetry = getattr(module, "telemetry", None)
+        self._tel_seed_pc = None
+        self._buf = layout.new_buffer(
+            self._telemetry.slots if self._telemetry is not None else 0
+        )
         self._buf_addr = self._buf.buffer_info()[0]
         # Packets that must run through the Python path: table packets
         # the analysis rejected (plus, later, guard-invalidated ones).
@@ -185,8 +196,16 @@ class NativePipeline:
         self.dispatch_counts["python_cycles"] += 1
 
     def _can_burst(self):
-        if self._observer is not None:
-            return False
+        observer = self._observer
+        if observer is not None:
+            # Trace-mode observers (and anything not declaring its
+            # needs) require one event per cycle: Python path.  Profile
+            # and counters modes are served by the telemetry flush --
+            # but only when the module was built instrumented.
+            if self._telemetry is None:
+                return False
+            if getattr(observer, "wants_cycle_events", True):
+                return False
         python_pcs = self._python_pcs
         for pc in self._inner.window_pcs:
             if pc is not None and pc in python_pcs:
@@ -211,6 +230,13 @@ class NativePipeline:
         for depth_index, pc in enumerate(inner.window_pcs):
             buf[L.WIN_BASE + depth_index] = -1 if pc is None else pc
         layout.push(self._state, buf, module.push_set)
+        telemetry = self._telemetry
+        if telemetry is not None and self._observer is not None:
+            # Seed the attribution anchor: bubbles at the head of the
+            # burst bill to the packet the Python path issued last.
+            seed = getattr(self._observer, "last_issue_pc", None)
+            self._tel_seed_pc = seed
+            buf[telemetry.base + L.TEL_LAST] = -1 if seed is None else seed
 
         rc = module.burst(self._buf_addr, self._ok_addr, budget)
 
@@ -227,6 +253,10 @@ class NativePipeline:
         counts = self.dispatch_counts
         counts["bursts"] += 1
         counts["native_cycles"] += buf[L.HDR_CYCLES] - before
+        if telemetry is not None and self._observer is not None:
+            # Flush before any trap re-raise: the cycles leading up to
+            # the trap are exactly what a post-mortem wants counted.
+            self._flush_telemetry()
         if rc == EXIT_NEED_PYTHON:
             counts["need_python_exits"] += 1
         if rc == EXIT_TRAP:
@@ -234,3 +264,32 @@ class NativePipeline:
             raise _trap_exception(buf[L.HDR_TRAP_CODE],
                                   buf[L.HDR_TRAP_PC])
         return rc
+
+    def _flush_telemetry(self):
+        """Fold the burst's telemetry side-region into the observer's
+        metrics and zero it for the next burst."""
+        telemetry = self._telemetry
+        buf = self._buf
+        plan = self._module.plan
+        base = telemetry.base
+        last = buf[base + L.TEL_LAST]
+        self._observer.on_burst_telemetry(
+            pc_base=plan.pc_base,
+            dispatch=buf[telemetry.disp_base:
+                         telemetry.disp_base + telemetry.n_pc],
+            cycles=buf[telemetry.cyc_base:
+                       telemetry.cyc_base + telemetry.n_pc],
+            insns=plan.metric_insns,
+            drain_bubbles=buf[base + L.TEL_DRAIN],
+            stall_bubbles=buf[base + L.TEL_STALL],
+            squashed=buf[base + L.TEL_SQUASH],
+            ctrl_stalls=buf[base + L.TEL_CTRL_STALL],
+            ctrl_flushes=buf[base + L.TEL_CTRL_FLUSH],
+            ctrl_halts=buf[base + L.TEL_CTRL_HALT],
+            stray_cycles=buf[base + L.TEL_STRAY_CYC],
+            stray_pc=self._tel_seed_pc,
+            last_pc=None if last < 0 else last,
+        )
+        buf[base:base + telemetry.slots] = array(
+            "q", bytes(8 * telemetry.slots)
+        )

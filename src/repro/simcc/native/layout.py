@@ -61,6 +61,63 @@ TRAP_INDEX = 3
 TRAP_NEG_STALL = 4
 TRAP_UNDEFINED = 5
 
+# -- telemetry side-region (profiled bursts only) ----------------------------
+#
+# When a burst module is built with telemetry, the state buffer grows a
+# side-region *after* the resources (so the resource layout -- and the
+# artifact key of the un-instrumented module -- is untouched).  Relative
+# offsets within the region:
+
+#: Last issued pc (seeded from the observer before each burst; -1 = none).
+TEL_LAST = 0
+#: Bubble cycles attributed to a pre-burst packet outside the compiled
+#: range (one bucket; the engine remembers which pc seeded TEL_LAST).
+TEL_STRAY_CYC = 1
+#: Bubble cycles while draining after halt.
+TEL_DRAIN = 2
+#: Bubble cycles while stalled.
+TEL_STALL = 3
+#: In-flight slots squashed by flushes.
+TEL_SQUASH = 4
+#: Control requests raised by behaviour code (stall()/flush()/halt()).
+TEL_CTRL_STALL = 5
+TEL_CTRL_FLUSH = 6
+TEL_CTRL_HALT = 7
+#: Header size; then ``n_pc`` dispatch counters, then ``n_pc``
+#: attributed-cycle counters.
+TEL_HEADER_SLOTS = 8
+
+
+@dataclass(frozen=True)
+class TelemetryRegion:
+    """Geometry of the telemetry side-region in the flat buffer.
+
+    ``base`` is the first slot past the resources
+    (``StateLayout.total_slots``); ``n_pc`` spans the compiled pc range
+    ``[pc_base, pc_limit)``.  Layout: the ``TEL_*`` header, then one
+    dispatch counter per packet address, then one attributed-cycle
+    counter per packet address.
+    """
+
+    base: int
+    n_pc: int
+
+    @property
+    def disp_base(self):
+        return self.base + TEL_HEADER_SLOTS
+
+    @property
+    def cyc_base(self):
+        return self.base + TEL_HEADER_SLOTS + self.n_pc
+
+    @property
+    def slots(self):
+        return TEL_HEADER_SLOTS + 2 * self.n_pc
+
+    def describe(self):
+        """Canonical text form (folded into the source digest)."""
+        return "telemetry/1 base=%d n_pc=%d" % (self.base, self.n_pc)
+
 
 class NativeUnsupported(Exception):
     """The model cannot be mapped onto the flat int64 layout."""
@@ -150,8 +207,10 @@ class StateLayout:
 
     # -- buffer transfer ----------------------------------------------------
 
-    def new_buffer(self):
-        return array("q", bytes(8 * self.total_slots))
+    def new_buffer(self, extra_slots=0):
+        """A zeroed flat buffer; ``extra_slots`` appends the telemetry
+        side-region of an instrumented burst module."""
+        return array("q", bytes(8 * (self.total_slots + extra_slots)))
 
     def push(self, state, buf, names=None):
         """Copy resources from ``state`` into ``buf``.

@@ -1,6 +1,7 @@
 """Tests for the observability layer (repro.obs)."""
 
 import json
+import re
 
 import pytest
 
@@ -333,6 +334,206 @@ class TestDisabledPath:
                                     "compiled", observer=observer)
         assert len(sink.events) == len(observer.events)
         assert len(sink.spans) == len(observer.spans)
+
+
+class TestSpanNestingRoundTrip:
+    def test_chrome_spans_nest(self, traced):
+        observer, _, _ = traced
+        trace = obs.to_chrome_trace(observer)
+        slices = [entry for entry in trace["traceEvents"]
+                  if entry["ph"] == "X"]
+        by_name = {entry["name"]: entry for entry in slices}
+        load = by_name["sim.load"]
+        assert load["args"]["depth"] == 0
+        names = {entry["name"] for entry in slices}
+        children = [entry for entry in slices
+                    if entry["args"].get("parent") == "sim.load"]
+        assert children, "compile phases must nest under sim.load"
+        for child in children:
+            assert child["args"]["depth"] == load["args"]["depth"] + 1
+            assert child["args"]["parent"] in names
+            # The child's interval lies inside the parent's.
+            assert child["ts"] >= load["ts"]
+            assert (child["ts"] + child["dur"]
+                    <= load["ts"] + load["dur"] + 1e-3)
+
+
+class TestOpenMetrics:
+    # One exposition line: a comment, or `name{labels} value`.
+    _SAMPLE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$")
+
+    def test_exposition_lints(self, traced):
+        observer, _, _ = traced
+        text = obs.to_openmetrics(observer)
+        assert text.endswith("# EOF\n")
+        lines = text.splitlines()
+        assert lines[-1] == "# EOF"
+        for line in lines[:-1]:
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                assert len(parts) == 4
+                assert parts[3] in ("counter", "gauge", "info", "summary")
+            else:
+                assert self._SAMPLE.match(line), line
+
+    def test_values_round_trip(self, traced):
+        observer, _, _ = traced
+        metrics = observer.metrics
+        samples = {}
+        for line in obs.to_openmetrics(observer).splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            samples[name] = value
+        assert (int(samples["sim_issue_cycles_total"])
+                == metrics.counter("sim.issue_cycles"))
+        assert int(samples["run_cycles"]) == metrics.gauges["run.cycles"]
+        assert 'run_kind_info{value="compiled"} 1' in {
+            "%s %s" % item for item in samples.items()
+        }
+        histogram = metrics.histograms["sim.packet_insns"]
+        assert int(samples["sim_packet_insns_count"]) == histogram.count
+        assert int(samples["sim_packet_insns_sum"]) == histogram.total
+        # Per-address counter families carry the address as a label.
+        pc, count = next(iter(metrics.family("sim.fetch_by_pc").items()))
+        assert samples['sim_fetch_by_pc_total{key="0x%x"}' % pc] \
+            == str(count)
+
+    def test_write_trace_openmetrics(self, traced, tmp_path):
+        observer, _, _ = traced
+        path = tmp_path / "metrics.om"
+        obs.write_trace(observer, path, trace_format="openmetrics")
+        assert path.read_text().endswith("# EOF\n")
+
+
+class TestEventRing:
+    def test_capacity_bounds_and_counts_drops(self):
+        observer = obs.Observer(event_capacity=4)
+        for index in range(6):
+            observer.emit("fetch", cycle=index)
+        assert len(observer.events) == 4
+        assert [e.args["cycle"] for e in observer.events] == [2, 3, 4, 5]
+        assert observer.metrics.counter("obs.events_dropped") == 2
+
+    def test_unbounded_opt_in(self):
+        observer = obs.Observer(event_capacity=None)
+        for index in range(10):
+            observer.emit("fetch", cycle=index)
+        assert isinstance(observer.events, list)
+        assert len(observer.events) == 10
+        assert observer.metrics.counter("obs.events_dropped") == 0
+
+    def test_default_is_bounded(self):
+        observer = obs.Observer()
+        assert observer.events.maxlen == obs.DEFAULT_EVENT_CAPACITY
+
+
+class TestObserverModes:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            obs.Observer(mode="verbose")
+
+    def test_profile_mode_attributes_without_events(
+        self, testmodel, testmodel_tools
+    ):
+        observer = obs.Observer(mode=obs.PROFILE_MODE)
+        observer, simulator, _ = run_traced(
+            testmodel, testmodel_tools, "compiled", observer=observer
+        )
+        assert not observer.wants_cycle_events
+        assert observer.events_of(obs.FETCH) == []
+        by_pc = observer.metrics.family("sim.cycles_by_pc")
+        assert sum(by_pc.values()) == simulator.cycles
+
+    def test_counters_mode_skips_attribution(
+        self, testmodel, testmodel_tools
+    ):
+        observer = obs.Observer(mode=obs.COUNTERS_MODE)
+        observer, _, _ = run_traced(
+            testmodel, testmodel_tools, "compiled", observer=observer
+        )
+        assert observer.metrics.counter("sim.issue_cycles") > 0
+        assert observer.metrics.family("sim.cycles_by_pc") == {}
+
+    def test_trace_mode_attributes_every_cycle(
+        self, testmodel, testmodel_tools
+    ):
+        observer, simulator, _ = run_traced(
+            testmodel, testmodel_tools, "compiled"
+        )
+        assert observer.wants_cycle_events
+        by_pc = observer.metrics.family("sim.cycles_by_pc")
+        assert sum(by_pc.values()) == simulator.cycles
+
+    def test_histogram_dict_includes_mean(self, traced):
+        observer, _, _ = traced
+        payload = observer.metrics.histograms["sim.packet_insns"].to_dict()
+        assert payload["mean"] == payload["total"] / payload["count"]
+
+
+class TestFlightRecorder:
+    def test_ring_bounds_and_drops(self):
+        recorder = obs.FlightRecorder(capacity=3)
+        observer = obs.Observer(sinks=(recorder,), record=False)
+        for index in range(5):
+            observer.emit("fetch", cycle=index)
+        assert len(recorder) == 3
+        assert recorder.dropped == 2
+        snapshot = recorder.snapshot()
+        assert [entry["cycle"] for entry in snapshot] == [2, 3, 4]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            obs.FlightRecorder(capacity=0)
+
+    def test_enable_is_idempotent_and_resizable(self):
+        observer = obs.Observer()
+        first = observer.enable_flight_recorder(16)
+        assert observer.enable_flight_recorder(16) is first
+        resized = observer.enable_flight_recorder(8)
+        assert resized is not first
+        assert observer.flight_recorder() is resized
+
+    def test_timeout_attaches_snapshot(self, testmodel, testmodel_tools):
+        from repro.support.errors import SimulationTimeout
+
+        program = testmodel_tools.assembler.assemble_text(SOURCE)
+        observer = obs.Observer()
+        observer.enable_flight_recorder(8)
+        simulator = create_simulator(testmodel, "compiled",
+                                     observer=observer)
+        simulator.load_program(program)
+        with pytest.raises(SimulationTimeout) as excinfo:
+            simulator.run_until(lambda sim: False, max_cycles=5)
+        recording = excinfo.value.flight_recording
+        assert recording
+        assert len(recording) <= 8
+        assert all(entry["type"] == "event" for entry in recording)
+
+    def test_survives_checkpoint_restore(self, testmodel,
+                                         testmodel_tools):
+        program = testmodel_tools.assembler.assemble_text(SOURCE)
+        observer = obs.Observer()
+        observer.enable_flight_recorder(64)
+        first = create_simulator(testmodel, "compiled",
+                                 observer=observer)
+        first.load_program(program)
+        first.run_to_pc(program.entry + 2)
+        checkpoint = first.checkpoint()
+
+        second = create_simulator(testmodel, "compiled",
+                                  observer=observer)
+        second.load_program(program)
+        second.restore(checkpoint)
+        second.run(max_cycles=10_000)
+
+        kinds = [entry["kind"]
+                 for entry in observer.flight_recorder().snapshot()]
+        assert "resilience.checkpoint" in kinds
+        assert "resilience.restore" in kinds
+        assert kinds.index("resilience.checkpoint") \
+            < kinds.index("resilience.restore")
+        assert "run.end" in kinds
 
 
 class TestGlobalObserver:
