@@ -138,7 +138,7 @@ class Toolset:
 
     def new_simulator(self, kind="compiled", cache=None, jobs=None,
                       verify_schedule=False, observer=None,
-                      on_self_modify=None, backend="auto"):
+                      on_self_modify=None, backend="auto", tiering="off"):
         """Create a fresh simulator.
 
         ``kind`` is one of ``interpretive``, ``predecoded`` (compiled
@@ -157,7 +157,11 @@ class Toolset:
         see :mod:`repro.resilience`).  ``backend`` (table-based kinds)
         selects the execution backend -- ``auto``, ``python``,
         ``module`` or ``native`` (compiled C bursts; falls back to the
-        Python path when no C toolchain is available).
+        Python path when no C toolchain is available).  ``tiering``
+        (``off``/``auto``/``aggressive`` or a
+        :class:`repro.sim.tiering.TierPolicy`) enables adaptive tiered
+        execution: profile-hot windows are promoted to richer
+        representations mid-run (see :mod:`repro.sim.tiering`).
         """
         from repro.sim import create_simulator
 
@@ -165,7 +169,7 @@ class Toolset:
                                 verify_schedule=verify_schedule,
                                 observer=observer,
                                 on_self_modify=on_self_modify,
-                                backend=backend)
+                                backend=backend, tiering=tiering)
 
     def new_observer(self, program=None, **kwargs):
         """Create a :class:`repro.obs.Observer` for this model.

@@ -294,6 +294,19 @@ def sim_main(argv=None):
         "exit status unchanged) rather than failing (default: auto)",
     )
     parser.add_argument(
+        "--tiering", default="off", choices=("off", "auto", "aggressive"),
+        help="adaptive tiered execution for the table-based kinds: "
+        "start at the cheap base tier and promote profile-hot windows "
+        "to unfolded tables -- and, where the analysis proofs admit, "
+        "to compiled native bursts -- mid-run; 'aggressive' polls "
+        "earlier and promotes more (default: off)",
+    )
+    parser.add_argument(
+        "--tier-report", metavar="PATH",
+        help="with --tiering: write the versioned, cycle-stamped "
+        "promotion/demotion timeline as JSON to PATH",
+    )
+    parser.add_argument(
         "--max-cycles", type=int, default=50_000_000,
         help="abort after this many cycles",
     )
@@ -417,6 +430,7 @@ def sim_main(argv=None):
             model, args.kind, cache=cache, jobs=args.jobs,
             verify_schedule=args.verify_schedule, observer=observer,
             on_self_modify=args.on_self_modify, backend=args.backend,
+            tiering=args.tiering,
         )
         load_start = time.perf_counter()
         simulator.load_program(program)
@@ -485,14 +499,28 @@ def sim_main(argv=None):
                         "%s=%d" % item for item in cache.stats.items()
                     )
                 )
+        manager = simulator.tier_manager
         if args.stats_json:
             payload = stats.to_dict()
             payload["kind"] = simulator.kind
             payload["load_seconds"] = load_time
+            if manager is not None:
+                payload["tier_timeline"] = manager.timeline_report()[
+                    "events"
+                ]
             with open(args.stats_json, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, indent=2, sort_keys=True)
                 handle.write("\n")
             print("wrote %s" % args.stats_json, file=sys.stderr)
+        if args.tier_report:
+            report = (
+                manager.timeline_report() if manager is not None
+                else {"version": 1, "mode": args.tiering, "events": []}
+            )
+            with open(args.tier_report, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print("wrote %s" % args.tier_report, file=sys.stderr)
         _write_observer_outputs(observer, args, "repro-sim")
         for dump in args.dump:
             _dump_memory(simulator.state, dump)

@@ -30,7 +30,7 @@ DEFAULT_MAX_GAP = 4
 
 
 def hot_region_report(observer, top=None, hot_share=DEFAULT_HOT_SHARE,
-                      max_gap=DEFAULT_MAX_GAP):
+                      max_gap=DEFAULT_MAX_GAP, extents=None):
     """Rank packets and contiguous windows by attributed cycles.
 
     Returns a JSON-compatible dict::
@@ -46,8 +46,9 @@ def hot_region_report(observer, top=None, hot_share=DEFAULT_HOT_SHARE,
             ...sorted by cycles desc, then pc...
           ],
           "windows": [
-            {"start": int, "end": int, "start_hex": .., "end_hex": ..,
-             "packets": int, "cycles": int, "share": float},
+            {"start": int, "end": int, "limit": int, "start_hex": ..,
+             "end_hex": .., "packets": int, "cycles": int,
+             "share": float},
             ...sorted by cycles desc, then start...
           ],
         }
@@ -56,6 +57,17 @@ def hot_region_report(observer, top=None, hot_share=DEFAULT_HOT_SHARE,
     hot packet); ``hot_share`` is the minimum cycle share for a packet
     to seed a window; ``max_gap`` is the maximum address gap between
     hot packets merged into one window.
+
+    ``extents`` optionally maps each packet start to the program words
+    the packet spans (``{pc: words}``, e.g. built from a simulation
+    table's slots).  With it, window grouping measures gaps from where
+    the previous packet *ends* rather than where it starts, and each
+    window's ``limit`` covers the member words of its final packet --
+    without it (extent 1 assumed), a multi-word packet whose last word
+    is the final table slot would be silently cut out of the window a
+    consumer promotes.  ``end`` stays the last hot packet's start
+    address for backwards compatibility; ``limit`` is the exclusive end
+    of the covered range.
     """
     metrics = observer.metrics
     attributed = metrics.family("sim.cycles_by_pc")
@@ -87,7 +99,8 @@ def hot_region_report(observer, top=None, hot_share=DEFAULT_HOT_SHARE,
         })
     packets.sort(key=lambda entry: (-entry["cycles"], entry["pc"]))
 
-    windows = _group_windows(weights, total, hot_share, max_gap)
+    windows = _group_windows(weights, total, hot_share, max_gap,
+                             extents=extents)
 
     gauges = metrics.gauges
     report = {
@@ -105,24 +118,43 @@ def hot_region_report(observer, top=None, hot_share=DEFAULT_HOT_SHARE,
     return report
 
 
-def _group_windows(weights, total, hot_share, max_gap):
-    """Contiguous runs of hot packets, ranked by their summed cycles."""
+def _group_windows(weights, total, hot_share, max_gap, extents=None):
+    """Contiguous runs of hot packets, ranked by their summed cycles.
+
+    ``extents`` (``{pc: words}``) makes grouping packet-extent aware:
+    the gap to the next hot packet is measured from the previous
+    packet's *last* member word, and the produced ``limit`` is the
+    exclusive end of the final packet's words.  Without extents every
+    packet is assumed one word wide -- which both splits windows of
+    adjacent multi-word packets and, at the program-end boundary,
+    reports a ``limit`` that drops the member words of a multi-word
+    final packet.
+    """
     if not total:
         return []
     hot = sorted(
         pc for pc, cycles in weights.items()
         if cycles / total >= hot_share
     )
+
+    def extent_of(pc):
+        if extents is None:
+            return 1
+        return max(1, int(extents.get(pc, 1)))
+
     windows = []
     for pc in hot:
-        if windows and pc - windows[-1]["end"] <= max_gap:
+        if windows and pc - windows[-1]["limit"] < max_gap:
             windows[-1]["end"] = pc
+            windows[-1]["limit"] = max(
+                windows[-1]["limit"], pc + extent_of(pc)
+            )
             windows[-1]["packets"] += 1
             windows[-1]["cycles"] += weights[pc]
         else:
             windows.append({
-                "start": pc, "end": pc, "packets": 1,
-                "cycles": weights[pc],
+                "start": pc, "end": pc, "limit": pc + extent_of(pc),
+                "packets": 1, "cycles": weights[pc],
             })
     for window in windows:
         window["start_hex"] = "0x%x" % window["start"]

@@ -119,21 +119,35 @@ class FaultInjector:
 
     @contextmanager
     def compile_fault(self, message="injected compile fault"):
-        """Make simulation compilation raise inside the block."""
+        """Make simulation compilation raise inside the block.
+
+        Covers both the direct compiler path and the portable-table
+        builder (which load-time cache misses *and* tiered window
+        promotions go through), so the fault also reaches background
+        promotion builds.
+        """
+        from repro.simcc import portable
         from repro.simcc.compiler import SimulationCompiler
 
         original = SimulationCompiler.compile
+        original_portable = portable.build_portable_table
         injector = self
 
         def faulty(self, *args, **kwargs):
             injector._record("compile_fault")
             raise ReproError(message)
 
+        def faulty_portable(*args, **kwargs):
+            injector._record("compile_fault")
+            raise ReproError(message)
+
         SimulationCompiler.compile = faulty
+        portable.build_portable_table = faulty_portable
         try:
             yield self
         finally:
             SimulationCompiler.compile = original
+            portable.build_portable_table = original_portable
 
     # -- cache faults -------------------------------------------------------
 

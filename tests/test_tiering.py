@@ -1,0 +1,532 @@
+"""Adaptive tiered execution: profile-guided promotion of hot windows.
+
+The tentpole guarantee: a tiered run is **bit-identical** to the same
+simulator with tiering off -- promotion splices change representation,
+never architectural behaviour.  These tests check that guarantee over
+the application x model matrix with forced mid-run promotions, plus the
+adversarial transitions around it:
+
+* a self-modifying store racing a promotion (the guard wins: the
+  promoted window demotes, the store's semantics are preserved),
+* a checkpoint taken mid-promotion restores bit-exactly on a fresh
+  simulator of any kind (tiered or not),
+* an injected compile fault during a promotion build aborts that build
+  and leaves the running tier untouched,
+* a warm cache: the second run of the same workload re-promotes from
+  cached windowed artifacts without invoking the C compiler,
+* the CLI surface (``--tiering``, ``--tier-report``, ``--stats-json``
+  ``tier_timeline``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps import build_adpcm, build_fir, build_gsm
+from repro.bench import load_app_program
+from repro.resilience import FaultInjector
+from repro.sim import create_simulator
+from repro.sim.tiering import (
+    TIERING_MODES,
+    TIMELINE_VERSION,
+    TierManager,
+    TierPolicy,
+)
+from repro.simcc.cache import SimulationCache
+from repro.simcc.native import native_available
+from repro.support.errors import ReproError
+
+needs_cc = pytest.mark.skipif(
+    not native_available(), reason="no usable C compiler on the host"
+)
+
+TABLE_KINDS = ("compiled", "static", "unfolded", "unfolded_static")
+
+LOOP_SOURCE = """
+        ldi r1, 40
+        ldi r5, 255
+loop:   add r2, r2, r1
+        add r1, r1, r5
+        brnz r1, loop
+        st r2, 7
+        halt
+"""
+
+SMC_SOURCE = """
+        ldi r1, 4
+        ldi r5, 255
+loop:   add r2, r2, r1
+patch:  ldi r3, 1
+        add r2, r2, r3
+        add r1, r1, r5
+        brnz r1, loop
+        st r2, 7
+        halt
+"""
+
+#: Fires the patch after the first promotions have landed (the loop is
+#: hot from the first poll under the forced policy below).
+PATCH_CYCLE = 12
+
+APP_MATRIX = [
+    ("fir-c62x", lambda: build_fir("c62x", taps=4, samples=8)),
+    ("fir-c54x", lambda: build_fir("c54x", taps=4, samples=8)),
+    ("fir-tinydsp", lambda: build_fir("tinydsp", taps=4, samples=8)),
+    ("adpcm-c62x", lambda: build_adpcm(samples=16)),
+    ("gsm-c62x", lambda: build_gsm(target_words=1024)),
+]
+
+
+def forced_policy(**overrides):
+    """An aggressive policy tuned to promote within a few cycles, so
+    even the small test programs exercise mid-run transitions."""
+    options = dict(mode="aggressive", poll_cycles=3, min_cycles=0,
+                   hot_share=0.001, background=False)
+    options.update(overrides)
+    return TierPolicy(**options)
+
+
+@pytest.fixture(scope="module")
+def loop_program(testmodel_tools):
+    return testmodel_tools.assembler.assemble_text(LOOP_SOURCE, name="loop")
+
+
+@pytest.fixture(scope="module")
+def smc_program(testmodel_tools):
+    return testmodel_tools.assembler.assemble_text(SMC_SOURCE, name="smc")
+
+
+@pytest.fixture(scope="module")
+def patch_word(testmodel_tools):
+    patched = testmodel_tools.assembler.assemble_text("ldi r3, 2")
+    return patched.segments_in("pmem")[0].words[0]
+
+
+def run_pair(model, program, kind, policy, max_cycles=100_000):
+    """(reference sim, tiered sim) after complete bit-compared runs."""
+    reference = create_simulator(model, kind)
+    reference.load_program(program)
+    ref_stats = reference.run(max_cycles=max_cycles)
+    tiered = create_simulator(model, kind, tiering=policy)
+    tiered.load_program(program)
+    tier_stats = tiered.run(max_cycles=max_cycles)
+    assert tier_stats.cycles == ref_stats.cycles
+    assert tier_stats.instructions == ref_stats.instructions
+    assert tiered.state.differences(reference.state) == []
+    return reference, tiered
+
+
+def promotions(simulator):
+    return [entry for entry in simulator.tier_manager.timeline
+            if entry["action"] == "promote"]
+
+
+class TestPolicy:
+    def test_modes(self):
+        assert TIERING_MODES == ("off", "auto", "aggressive")
+
+    def test_coerce_off(self):
+        assert TierPolicy.coerce(None) is None
+        assert TierPolicy.coerce("off") is None
+
+    def test_coerce_mode_string(self):
+        policy = TierPolicy.coerce("aggressive")
+        assert policy.mode == "aggressive"
+        assert policy.poll_cycles < TierPolicy.coerce("auto").poll_cycles
+
+    def test_coerce_policy_passthrough(self):
+        policy = forced_policy()
+        assert TierPolicy.coerce(policy) is policy
+
+    def test_unknown_mode_rejected(self, testmodel):
+        with pytest.raises(ReproError, match="tiering"):
+            create_simulator(testmodel, "compiled", tiering="turbo")
+
+    def test_untabled_kinds_rejected(self, testmodel):
+        for kind in ("interpretive", "predecoded"):
+            with pytest.raises(ReproError, match="table-based"):
+                create_simulator(testmodel, kind, tiering="auto")
+
+    def test_native_backend_rejected(self, testmodel):
+        with pytest.raises(ReproError, match="mutually exclusive"):
+            create_simulator(testmodel, "compiled", backend="native",
+                             tiering="auto")
+
+    def test_off_means_no_manager(self, testmodel, loop_program):
+        simulator = create_simulator(testmodel, "compiled")
+        simulator.load_program(loop_program)
+        assert simulator.tier_manager is None
+
+
+class TestMidRunPromotion:
+    @pytest.mark.parametrize("kind", TABLE_KINDS)
+    def test_bit_exact_with_forced_promotions(self, testmodel,
+                                              loop_program, kind):
+        _, tiered = run_pair(testmodel, loop_program, kind,
+                             forced_policy())
+        assert promotions(tiered), "policy should have promoted mid-run"
+
+    def test_sequenced_base_promotes_through_unfolded(self, testmodel,
+                                                      loop_program):
+        _, tiered = run_pair(testmodel, loop_program, "compiled",
+                             forced_policy())
+        tiers = [entry["tier"] for entry in promotions(tiered)]
+        assert "unfolded" in tiers
+
+    @needs_cc
+    def test_instantiated_base_promotes_to_native(self, testmodel,
+                                                  loop_program):
+        _, tiered = run_pair(testmodel, loop_program, "unfolded",
+                             forced_policy())
+        tiers = [entry["tier"] for entry in promotions(tiered)]
+        assert tiers and set(tiers) == {"native"}
+
+    def test_auto_mode_string_is_bit_exact(self, testmodel, loop_program):
+        # Default "auto" thresholds rarely trigger on a tiny program;
+        # the run must still be bit-identical.
+        run_pair(testmodel, loop_program, "compiled", "auto")
+
+    def test_background_policy_bit_exact(self, testmodel, loop_program):
+        _, tiered = run_pair(testmodel, loop_program, "compiled",
+                             forced_policy(background=True))
+        # Background builds commit at later polls; the run is short, so
+        # promotion count is timing-dependent -- only exactness is
+        # guaranteed (asserted inside run_pair).
+        assert tiered.tier_manager is not None
+
+    def test_timeline_report_shape(self, testmodel, loop_program):
+        _, tiered = run_pair(testmodel, loop_program, "compiled",
+                             forced_policy())
+        report = tiered.tier_manager.timeline_report()
+        assert report["version"] == TIMELINE_VERSION
+        assert report["mode"] == "aggressive"
+        for entry in report["events"]:
+            assert entry["action"] in (
+                "promote", "demote", "abort", "quiesce"
+            )
+            assert entry["tier"] in ("unfolded", "native")
+            assert isinstance(entry["cycle"], int)
+            assert entry["start"] < entry["limit"]
+
+    def test_promotion_metrics_and_events(self, testmodel, testmodel_tools,
+                                          loop_program):
+        from repro import obs
+
+        observer = obs.Observer()
+        tiered = create_simulator(testmodel, "compiled",
+                                  observer=observer,
+                                  tiering=forced_policy())
+        tiered.load_program(loop_program)
+        tiered.run(max_cycles=100_000)
+        assert observer.metrics.counters["tiering.promotions"] >= 1
+        kinds = {event.kind for event in observer.events}
+        assert obs.TIER_PROMOTE in kinds
+
+
+@pytest.mark.parametrize(
+    "builder", [entry[1] for entry in APP_MATRIX],
+    ids=[entry[0] for entry in APP_MATRIX],
+)
+class TestAppMatrixBitExactness:
+    """Tiered vs untiered over every app x model pair, with promotions
+    actually firing mid-run."""
+
+    def test_aggressive_promotions_bit_exact(self, builder):
+        app = builder()
+        model, program = load_app_program(app)
+        policy = forced_policy(poll_cycles=100, hot_share=0.005)
+        _, tiered = run_pair(model, program, "compiled", policy,
+                             max_cycles=10_000_000)
+        assert promotions(tiered), "no promotion fired mid-run"
+        aborts = [entry for entry in tiered.tier_manager.timeline
+                  if entry["action"] == "abort"]
+        assert aborts == []
+
+
+class TestSmcVsPromotion:
+    """A self-modifying store racing a promoted window: the guard wins.
+
+    The promoted region demotes (timeline ``demote`` with cause
+    ``self_modify``), the patched instruction's semantics apply, and
+    the final state matches the same kind running untiered under the
+    identical injected store."""
+
+    @pytest.mark.parametrize("kind", TABLE_KINDS)
+    @pytest.mark.parametrize("policy", ["recompile", "interpret"])
+    def test_guard_wins_bit_exact(self, testmodel, smc_program,
+                                  patch_word, kind, policy):
+        def run(tiering):
+            simulator = create_simulator(testmodel, kind,
+                                         on_self_modify=policy,
+                                         tiering=tiering)
+            simulator.load_program(smc_program)
+            injector = FaultInjector()
+            address = smc_program.symbols["patch"]
+            stats = injector.run_with_faults(
+                simulator,
+                [(PATCH_CYCLE,
+                  lambda sim: injector.write_program_word(
+                      sim, address, patch_word))],
+                max_cycles=100_000,
+            )
+            return simulator, stats
+
+        reference, ref_stats = run("off")
+        tiered, tier_stats = run(forced_policy())
+        assert tier_stats.cycles == ref_stats.cycles
+        assert tiered.state.differences(reference.state) == []
+        assert promotions(tiered), "patch must race a live promotion"
+        demotes = [entry for entry in tiered.tier_manager.timeline
+                   if entry["action"] == "demote"]
+        assert demotes and all(
+            entry["cause"] == "self_modify" for entry in demotes
+        )
+
+    def test_demotion_metrics(self, testmodel, smc_program, patch_word):
+        from repro import obs
+
+        observer = obs.Observer(record=False, mode=obs.PROFILE_MODE)
+        tiered = create_simulator(testmodel, "compiled",
+                                  observer=observer,
+                                  on_self_modify="recompile",
+                                  tiering=forced_policy())
+        tiered.load_program(smc_program)
+        injector = FaultInjector()
+        address = smc_program.symbols["patch"]
+        injector.run_with_faults(
+            tiered,
+            [(PATCH_CYCLE,
+              lambda sim: injector.write_program_word(
+                  sim, address, patch_word))],
+            max_cycles=100_000,
+        )
+        counters = observer.metrics.counters
+        assert counters["tiering.demotions"] >= 1
+        families = observer.metrics.family("tiering.demotions_by_cause")
+        assert families.get("self_modify", 0) >= 1
+
+
+class TestCheckpointMidPromotion:
+    """A checkpoint taken after promotions restores bit-exactly on a
+    fresh simulator of any kind -- promotion state is representation,
+    not architecture, so none of it crosses the checkpoint."""
+
+    @pytest.fixture(scope="class")
+    def mid_promotion(self, testmodel, loop_program):
+        simulator = create_simulator(testmodel, "compiled",
+                                     tiering=forced_policy())
+        simulator.load_program(loop_program)
+        for _ in range(30):
+            simulator.step()
+        assert promotions(simulator), "no promotion before the snapshot"
+        snapshot = simulator.checkpoint()
+        simulator.run(max_cycles=100_000)
+        return snapshot, simulator
+
+    @pytest.mark.parametrize(
+        "kind", ("interpretive", "predecoded") + TABLE_KINDS
+    )
+    def test_restore_on_any_kind(self, testmodel, loop_program,
+                                 mid_promotion, kind):
+        snapshot, finished = mid_promotion
+        fresh = create_simulator(testmodel, kind)
+        fresh.load_program(loop_program)
+        fresh.restore(snapshot)
+        fresh.run(max_cycles=100_000)
+        assert fresh.cycles == finished.cycles
+        assert fresh.state.differences(finished.state) == []
+
+    def test_restore_on_tiered_simulator(self, testmodel, loop_program,
+                                         mid_promotion):
+        snapshot, finished = mid_promotion
+        fresh = create_simulator(testmodel, "compiled",
+                                 tiering=forced_policy())
+        fresh.load_program(loop_program)
+        fresh.restore(snapshot)
+        fresh.run(max_cycles=100_000)
+        assert fresh.cycles == finished.cycles
+        assert fresh.state.differences(finished.state) == []
+
+
+class TestCompileFaultDuringPromotion:
+    """An injected compile fault inside a promotion build must abort
+    that build -- the running tier keeps executing, bit-exactly."""
+
+    def test_synchronous_build_failure_leaves_tier(self, testmodel,
+                                                   loop_program):
+        injector = FaultInjector()
+        tiered = create_simulator(testmodel, "compiled",
+                                  tiering=forced_policy())
+        tiered.load_program(loop_program)
+        with injector.compile_fault():
+            tier_stats = tiered.run(max_cycles=100_000)
+        reference = create_simulator(testmodel, "compiled")
+        reference.load_program(loop_program)
+        ref_stats = reference.run(max_cycles=100_000)
+        assert tier_stats.cycles == ref_stats.cycles
+        assert tiered.state.differences(reference.state) == []
+        timeline = tiered.tier_manager.timeline
+        assert promotions(tiered) == []
+        aborts = [entry for entry in timeline
+                  if entry["action"] == "abort"]
+        assert aborts and all(
+            entry["cause"].startswith("compile_failed")
+            for entry in aborts
+        )
+
+    def test_background_build_failure_leaves_tier(self, testmodel,
+                                                  loop_program):
+        injector = FaultInjector()
+        tiered = create_simulator(
+            testmodel, "compiled",
+            tiering=forced_policy(background=True),
+        )
+        tiered.load_program(loop_program)
+        manager = tiered.tier_manager
+        with injector.compile_fault():
+            # Step until the manager launches its background build,
+            # wait for the worker to fail, then let the next poll
+            # consume the failure.
+            while manager._build is None and not tiered.halted:
+                tiered.step()
+            build = manager._build
+            assert build is not None, "no background build launched"
+            assert build._finished.wait(timeout=30)
+            tier_stats = tiered.run(max_cycles=100_000)
+        reference = create_simulator(testmodel, "compiled")
+        reference.load_program(loop_program)
+        ref_stats = reference.run(max_cycles=100_000)
+        assert tier_stats.cycles == ref_stats.cycles
+        assert tiered.state.differences(reference.state) == []
+        aborts = [entry for entry in manager.timeline
+                  if entry["action"] == "abort"]
+        assert aborts
+
+
+class TestWarmCache:
+    """The second tiered run of a workload promotes from cached
+    windowed artifacts -- no recompilation, no C compiler."""
+
+    @needs_cc
+    def test_second_run_does_not_invoke_cc(self, testmodel, loop_program,
+                                           tmp_path, monkeypatch):
+        from repro.simcc.native import toolchain
+
+        root = str(tmp_path / "simtab")
+        policy = forced_policy()
+
+        first = create_simulator(testmodel, "compiled",
+                                 cache=SimulationCache(root),
+                                 tiering=policy)
+        first.load_program(loop_program)
+        first.run(max_cycles=100_000)
+        first_tiers = [entry["tier"] for entry in promotions(first)]
+        assert "native" in first_tiers
+
+        calls = []
+        original = toolchain.compile_shared
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(toolchain, "compile_shared", counting)
+        second = create_simulator(testmodel, "compiled",
+                                  cache=SimulationCache(root),
+                                  tiering=policy)
+        second.load_program(loop_program)
+        second.run(max_cycles=100_000)
+        assert calls == [], "warm run must not re-invoke the C compiler"
+        second_tiers = [entry["tier"] for entry in promotions(second)]
+        assert "native" in second_tiers
+        assert second.state.differences(first.state) == []
+
+    def test_windowed_artifacts_hit_cache(self, testmodel, loop_program,
+                                          tmp_path):
+        root = str(tmp_path / "simtab")
+        policy = forced_policy(promote_native=False)
+
+        first = create_simulator(testmodel, "compiled",
+                                 cache=SimulationCache(root),
+                                 tiering=policy)
+        first.load_program(loop_program)
+        first.run(max_cycles=100_000)
+        assert promotions(first)
+
+        cache = SimulationCache(root)
+        second = create_simulator(testmodel, "compiled", cache=cache,
+                                  tiering=policy)
+        second.load_program(loop_program)
+        second.run(max_cycles=100_000)
+        assert promotions(second)
+        assert cache.stats["disk_hits"] >= 2  # load-time + window
+
+
+class TestEngineSurface:
+    def test_engine_forwards_inner_attributes(self, testmodel,
+                                              loop_program):
+        tiered = create_simulator(testmodel, "compiled",
+                                  tiering=forced_policy())
+        tiered.load_program(loop_program)
+        engine = tiered.engine
+        assert engine.cycles == 0
+        assert engine.manager is tiered.tier_manager
+        assert isinstance(engine.manager, TierManager)
+
+    def test_reset_clears_promotions(self, testmodel, loop_program):
+        tiered = create_simulator(testmodel, "compiled",
+                                  tiering=forced_policy())
+        tiered.load_program(loop_program)
+        tiered.run(max_cycles=100_000)
+        assert promotions(tiered)
+        tiered.reset()
+        assert tiered.tier_manager.timeline == []
+        tiered.run(max_cycles=100_000)
+        assert promotions(tiered)
+
+
+class TestCli:
+    def _write_inputs(self, tmp_path):
+        from tests.conftest import TESTMODEL_SOURCE
+
+        lisa = tmp_path / "model.lisa"
+        lisa.write_text(TESTMODEL_SOURCE)
+        asm = tmp_path / "loop.asm"
+        asm.write_text(LOOP_SOURCE)
+        return str(lisa), str(asm)
+
+    def test_tier_report_written(self, tmp_path, capsys):
+        from repro.cli import sim_main
+
+        lisa, asm = self._write_inputs(tmp_path)
+        report_path = tmp_path / "tiers.json"
+        assert sim_main([lisa, asm, "--tiering", "aggressive",
+                         "--tier-report", str(report_path)]) == 0
+        report = json.loads(report_path.read_text())
+        assert report["version"] == TIMELINE_VERSION
+        assert report["mode"] == "aggressive"
+        assert isinstance(report["events"], list)
+
+    def test_stats_json_tier_timeline(self, tmp_path, capsys):
+        from repro.cli import sim_main
+
+        lisa, asm = self._write_inputs(tmp_path)
+        stats_path = tmp_path / "stats.json"
+        assert sim_main([lisa, asm, "--tiering", "auto",
+                         "--stats-json", str(stats_path)]) == 0
+        payload = json.loads(stats_path.read_text())
+        assert "tier_timeline" in payload
+        assert isinstance(payload["tier_timeline"], list)
+
+    def test_stats_json_without_tiering_has_no_timeline(self, tmp_path,
+                                                        capsys):
+        from repro.cli import sim_main
+
+        lisa, asm = self._write_inputs(tmp_path)
+        stats_path = tmp_path / "stats.json"
+        assert sim_main([lisa, asm,
+                         "--stats-json", str(stats_path)]) == 0
+        payload = json.loads(stats_path.read_text())
+        assert "tier_timeline" not in payload
