@@ -1,0 +1,123 @@
+"""Simulation service throughput: worker-pool scaling and warm cache.
+
+The service claim measured here: on a multi-core host a 4-worker pool
+must clear a batch of independent FIR jobs at least ``MIN_SCALING``
+times faster than a 1-worker pool once the shared simulation-table
+cache is warm (each job then skips table compilation and the pool is
+bounded by simulation itself, which parallelises across workers).  The
+cold-cache columns quantify what the shared cache is worth: the first
+worker to need a table builds and stores it, everyone else reloads.
+
+Writes ``BENCH_service_throughput.json`` with jobs/s and latency
+percentiles per configuration.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.api import build_toolset, load_model
+from repro.apps import build_fir
+from repro.bench.reporting import ExperimentReport, publish_json
+from repro.service import ServicePolicy, Supervisor
+from repro.service.chaos import build_app_spec, compare_results, run_reference
+
+#: The scaling bar, gated on actually having the cores to scale onto.
+MIN_SCALING = 3.0
+
+JOBS = 16
+
+
+def _percentile(values, share):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(share * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _run_batch(specs, workers, cache_dir, reference):
+    """Drain one batch; returns ``(jobs_per_s, latencies, wall)``.
+
+    Latency here is submit-to-terminal per job, measured from the
+    recorded submit timestamp -- under a FIFO queue it includes queue
+    wait, which is what a service caller experiences.
+    """
+    policy = ServicePolicy(heartbeat_timeout=120.0)
+    with Supervisor(workers=workers, cache_dir=cache_dir,
+                    policy=policy) as pool:
+        start = time.perf_counter()
+        ids = [pool.submit(spec) for spec in specs]
+        finished = {}
+        while len(finished) < len(ids):
+            pool.pump(0.02)
+            now = time.perf_counter()
+            for job_id in ids:
+                if job_id not in finished and \
+                        pool.status(job_id)["state"] == "completed":
+                    finished[job_id] = now
+        wall = time.perf_counter() - start
+        latencies = [finished[job_id] - start for job_id in ids]
+        for job_id in ids:
+            compare_results(reference, pool.result(job_id), label=job_id)
+    return len(ids) / wall, latencies, wall
+
+
+def test_service_throughput_scaling(tmp_path):
+    app = build_fir("c62x", taps=8, samples=48)
+    toolset = build_toolset(load_model(app.model_name))
+    base = build_app_spec(app, toolset, checkpoint_every=5_000)
+    reference = run_reference(base)
+    specs = [
+        build_app_spec(app, toolset, name="bench-%02d" % index,
+                       checkpoint_every=5_000)
+        for index in range(JOBS)
+    ]
+
+    report = ExperimentReport(
+        "BENCH-service-throughput",
+        "supervised worker pool: batch throughput and latency",
+        "the service layer over the paper's compiled simulators",
+    )
+    rows = {}
+    for label, workers, cache_dir in (
+        ("cold-1w", 1, str(tmp_path / "cold1")),
+        ("cold-4w", 4, str(tmp_path / "cold4")),
+        ("warm-1w", 1, str(tmp_path / "warm")),
+        ("warm-4w", 4, str(tmp_path / "warm")),
+    ):
+        # the two warm rows share one cache; the first of them warms it
+        if label.startswith("warm") and not os.path.isdir(cache_dir):
+            _run_batch(specs[:1], 1, cache_dir, reference)
+        jobs_per_s, latencies, wall = _run_batch(
+            specs, workers, cache_dir, reference
+        )
+        rows[label] = {
+            "workers": workers,
+            "jobs": len(specs),
+            "jobs_per_s": jobs_per_s,
+            "wall_s": wall,
+            "p50_s": _percentile(latencies, 0.50),
+            "p99_s": _percentile(latencies, 0.99),
+        }
+        report.add_row(config=label, **rows[label])
+    report.emit()
+
+    scaling = rows["warm-4w"]["jobs_per_s"] / rows["warm-1w"]["jobs_per_s"]
+    payload = {
+        "experiment": "service-throughput",
+        "workload": app.name,
+        "cpu_count": os.cpu_count(),
+        "configs": rows,
+        "warm_scaling_4w_over_1w": scaling,
+        "threshold": MIN_SCALING,
+    }
+    publish_json("BENCH_service_throughput.json", payload)
+
+    # the scaling bar needs the cores to scale onto; single-digit-core
+    # containers still publish the numbers above
+    if (os.cpu_count() or 1) >= 4:
+        assert scaling >= MIN_SCALING, (
+            "4-worker warm-cache pool is only %.2fx a 1-worker pool "
+            "(need >= %.1fx on a %d-core host)"
+            % (scaling, MIN_SCALING, os.cpu_count())
+        )

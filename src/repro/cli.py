@@ -286,20 +286,22 @@ def sim_main(argv=None):
         help="simulator kind (default: compiled)",
     )
     parser.add_argument(
-        "--backend", default="auto", choices=SIM_BACKENDS,
+        "--backend", default=None, choices=SIM_BACKENDS,
         help="execution backend for the table-based kinds: 'native' "
         "compiles proven packets to C and bursts whole pipeline "
         "windows per call; when no C compiler is available it falls "
         "back to the Python path (one native.fallback trace event, "
-        "exit status unchanged) rather than failing (default: auto)",
+        "exit status unchanged) rather than failing (default: auto; "
+        "with --resume, the backend stamped into the checkpoint)",
     )
     parser.add_argument(
-        "--tiering", default="off", choices=("off", "auto", "aggressive"),
+        "--tiering", default=None, choices=("off", "auto", "aggressive"),
         help="adaptive tiered execution for the table-based kinds: "
         "start at the cheap base tier and promote profile-hot windows "
         "to unfolded tables -- and, where the analysis proofs admit, "
         "to compiled native bursts -- mid-run; 'aggressive' polls "
-        "earlier and promotes more (default: off)",
+        "earlier and promotes more (default: off; with --resume, the "
+        "mode stamped into the checkpoint)",
     )
     parser.add_argument(
         "--tier-report", metavar="PATH",
@@ -425,24 +427,43 @@ def sim_main(argv=None):
             from repro.simcc.cache import SimulationCache
 
             cache = SimulationCache(args.cache_dir)
-        observer = _make_observer(args, model, program)
-        simulator = create_simulator(
-            model, args.kind, cache=cache, jobs=args.jobs,
-            verify_schedule=args.verify_schedule, observer=observer,
-            on_self_modify=args.on_self_modify, backend=args.backend,
-            tiering=args.tiering,
-        )
-        load_start = time.perf_counter()
-        simulator.load_program(program)
-        load_time = time.perf_counter() - load_start
+        # Resume ergonomics: flags the user left unset re-apply the
+        # configuration stamped into the checkpoint (a timeout resumed
+        # with bare `--resume` must not silently revert a native or
+        # tiered run to the defaults); flags given explicitly win.
+        checkpoint = None
         if args.resume:
             from repro.resilience.checkpoint import Checkpoint
 
             checkpoint = Checkpoint.load(args.resume)
+        backend = args.backend
+        if backend is None:
+            backend = checkpoint.backend if checkpoint is not None else "auto"
+        tiering = args.tiering
+        if tiering is None:
+            tiering = checkpoint.tiering if checkpoint is not None else "off"
+        if args.kind in ("interpretive", "predecoded") and args.backend is None:
+            backend = "auto"  # untabled kinds reject a stamped backend
+        if (args.kind in ("interpretive", "predecoded")
+                or backend == "native") and args.tiering is None:
+            tiering = "off"  # stamped tiering does not apply here
+        observer = _make_observer(args, model, program)
+        simulator = create_simulator(
+            model, args.kind, cache=cache, jobs=args.jobs,
+            verify_schedule=args.verify_schedule, observer=observer,
+            on_self_modify=args.on_self_modify, backend=backend,
+            tiering=tiering,
+        )
+        load_start = time.perf_counter()
+        simulator.load_program(program)
+        load_time = time.perf_counter() - load_start
+        if checkpoint is not None:
             simulator.restore(checkpoint)
             print(
-                "resumed from %s at cycle %d (taken under -k %s)"
-                % (args.resume, checkpoint.cycles, checkpoint.kind),
+                "resumed from %s at cycle %d (taken under -k %s, "
+                "backend %s, tiering %s)"
+                % (args.resume, checkpoint.cycles, checkpoint.kind,
+                   backend, tiering),
                 file=sys.stderr,
             )
         checkpoint_path = args.checkpoint_file
@@ -515,7 +536,7 @@ def sim_main(argv=None):
         if args.tier_report:
             report = (
                 manager.timeline_report() if manager is not None
-                else {"version": 1, "mode": args.tiering, "events": []}
+                else {"version": 1, "mode": tiering, "events": []}
             )
             with open(args.tier_report, "w", encoding="utf-8") as handle:
                 json.dump(report, handle, indent=2, sort_keys=True)

@@ -44,6 +44,15 @@ def program_digest(program):
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def _tiering_mode(simulator):
+    """The simulator's tiering configuration as a plain mode string."""
+    tiering = getattr(simulator, "tiering", "off")
+    if tiering in (None, "off"):
+        return "off"
+    mode = getattr(tiering, "mode", None)
+    return mode if mode is not None else str(tiering)
+
+
 def _body_digest(body):
     blob = json.dumps(body, sort_keys=True)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -66,6 +75,15 @@ class Checkpoint:
     halted: bool
     stall_cycles: int
     state: Dict[str, object] = field(repr=False)
+    # Run-configuration metadata: how the snapshotting simulator was
+    # configured.  Restore does not require them to match (checkpoints
+    # stay kind- and backend-portable); they exist so a resume can
+    # *re-apply* the original configuration instead of silently
+    # reverting to defaults (``repro-sim --resume`` does exactly that).
+    # Older checkpoint files simply lack the keys and load with the
+    # defaults below.
+    backend: str = "auto"
+    tiering: str = "off"
 
     # -- capture / validation ----------------------------------------------
 
@@ -90,6 +108,8 @@ class Checkpoint:
             halted=control.halted,
             stall_cycles=control.stall_cycles,
             state=simulator.state.snapshot(),
+            backend=getattr(simulator, "backend", "auto"),
+            tiering=_tiering_mode(simulator),
         )
 
     def validate_for(self, simulator):
@@ -136,6 +156,8 @@ class Checkpoint:
             "halted": self.halted,
             "stall_cycles": self.stall_cycles,
             "state": self.state,
+            "backend": self.backend,
+            "tiering": self.tiering,
         }
 
     @classmethod
@@ -163,6 +185,8 @@ class Checkpoint:
                 halted=payload["halted"],
                 stall_cycles=payload["stall_cycles"],
                 state=payload["state"],
+                backend=payload.get("backend", "auto"),
+                tiering=payload.get("tiering", "off"),
             )
         except KeyError as exc:
             raise CheckpointError(

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import marshal
 import os
+import signal
 from contextlib import contextmanager
 
 from repro.support.errors import DecodeError, ReproError
@@ -90,6 +91,24 @@ class FaultInjector:
             "program_write", memory=pmem, address=address,
             before=before, after=value,
         )
+
+    # -- process faults -----------------------------------------------------
+
+    def process_kill(self, simulator=None, sig=signal.SIGKILL):
+        """Kill the current process (default: SIGKILL, uncatchable).
+
+        The worker-death fault: with SIGKILL the process gets no chance
+        to flush, hand off, or mark the job failed -- exactly what a
+        supervisor must recover from.  The injection is recorded (and
+        the observer flushed through its sinks) *before* the signal is
+        raised, so a survivable signal still leaves a log entry; under
+        SIGKILL the record only survives if it already left the process
+        (e.g. down a pipe sink).  ``simulator`` is accepted (and
+        ignored) so the method is usable directly as a fault-plan
+        action.
+        """
+        self._record("process_kill", pid=os.getpid(), sig=int(sig))
+        os.kill(os.getpid(), sig)
 
     # -- toolchain faults ---------------------------------------------------
 
@@ -212,7 +231,61 @@ class FaultInjector:
 
     # -- plan-driven runs ---------------------------------------------------
 
-    def run_with_faults(self, simulator, plan, max_cycles=50_000_000):
+    #: Fault-plan actions expressible as plain data (see
+    #: :meth:`compile_plan`), mapped to the injector method each one
+    #: drives.  ``process_kill`` makes worker-death schedules part of
+    #: the same plan format as bit flips and program writes.
+    PLAN_ACTIONS = {
+        "process_kill": "process_kill",
+        "write_program_word": "write_program_word",
+        "flip_register_bit": "flip_register_bit",
+        "flip_memory_bit": "flip_memory_bit",
+    }
+
+    def compile_plan(self, entries, attempt=None, resume_cycles=0):
+        """Compile serialisable fault-plan entries into (cycle, action)
+        pairs for :meth:`run_with_faults`.
+
+        Each entry is a mapping ``{"cycle": N, "action": NAME}`` plus
+        the action's keyword arguments under ``"args"``; names come
+        from :data:`PLAN_ACTIONS`.  The format is JSON/pipe friendly,
+        so schedules cross process boundaries -- the simulation
+        service's chaos harness ships them to worker processes.
+
+        Two filters make plans replayable across recovery attempts:
+
+        * ``"attempts"`` (a list of attempt ordinals) restricts an
+          entry to those attempts; entries without it fire on *every*
+          attempt.  ``attempt=None`` skips the filter.
+        * entries whose cycle is not beyond ``resume_cycles`` are
+          dropped -- a job resumed from a checkpoint past the fault has
+          already survived it.
+        """
+        plan = []
+        for entry in entries:
+            action_name = entry.get("action")
+            method_name = self.PLAN_ACTIONS.get(action_name)
+            if method_name is None:
+                raise ReproError(
+                    "unknown fault-plan action %r (choose from %s)"
+                    % (action_name, ", ".join(sorted(self.PLAN_ACTIONS)))
+                )
+            cycle = int(entry.get("cycle", 0))
+            allowed = entry.get("attempts")
+            if (attempt is not None and allowed is not None
+                    and attempt not in allowed):
+                continue
+            if cycle <= resume_cycles and resume_cycles > 0:
+                continue
+            method = getattr(self, method_name)
+            args = dict(entry.get("args", {}))
+            plan.append(
+                (cycle, lambda sim, _m=method, _a=args: _m(sim, **_a))
+            )
+        return plan
+
+    def run_with_faults(self, simulator, plan, max_cycles=50_000_000,
+                        budget=None, on_checkpoint=None):
         """Run ``simulator`` firing ``plan`` actions at exact cycles.
 
         ``plan`` is an iterable of ``(cycle, action)`` pairs; each
@@ -220,8 +293,20 @@ class FaultInjector:
         that cycle (actions beyond the program's natural end never
         fire).  Returns :class:`repro.sim.base.SimulationStats` from the
         final ``run``.
+
+        ``budget`` (a :class:`repro.resilience.watchdog.RunBudget`) and
+        ``on_checkpoint`` apply to the final run exactly as in
+        :meth:`repro.sim.base.Simulator.run`; additionally, the
+        stepping phase that walks the engine up to each fault cycle
+        honours ``budget.checkpoint_every``, so autosnapshots keep
+        their cadence even while faults are pending -- a process-kill
+        fault then finds a resume point already delivered.
         """
         engine = simulator.engine
+        cadence = budget.checkpoint_every if budget is not None else None
+        next_snapshot = (
+            engine.cycles + cadence if cadence else None
+        )
         for cycle, action in sorted(plan, key=lambda item: item[0]):
             while (
                 engine.cycles < cycle
@@ -229,7 +314,15 @@ class FaultInjector:
                 and engine.cycles < max_cycles
             ):
                 engine.step()
+                if (next_snapshot is not None
+                        and engine.cycles >= next_snapshot
+                        and not simulator.halted):
+                    snapshot = simulator.checkpoint(auto=True)
+                    if on_checkpoint is not None:
+                        on_checkpoint(snapshot)
+                    next_snapshot = engine.cycles + cadence
             if simulator.halted:
                 break
             action(simulator)
-        return simulator.run(max_cycles=max_cycles)
+        return simulator.run(max_cycles=max_cycles, budget=budget,
+                             on_checkpoint=on_checkpoint)

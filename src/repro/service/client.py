@@ -1,0 +1,126 @@
+"""The HTTP client for ``repro-serve`` (stdlib ``urllib`` only).
+
+A thin, typed wrapper over the JSON routes in
+:mod:`repro.service.server`: tenant-budget rejections (HTTP 429) come
+back as :class:`~repro.support.errors.BudgetExceededError`, everything
+else the service refuses as :class:`~repro.support.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.service.job import TERMINAL_STATES, JobSpec
+from repro.support.errors import BudgetExceededError, ServiceError
+
+
+class Client:
+    """Talks to one ``repro-serve`` instance.
+
+    ::
+
+        client = Client("http://127.0.0.1:8642")
+        job = client.submit(spec)
+        status = client.wait(job, timeout=120)
+        result = client.result(job)
+    """
+
+    def __init__(self, base_url, timeout=30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, method, path, payload=None):
+        url = "%s%s" % (self.base_url, path)
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as response:
+                body = response.read().decode("utf-8")
+                kind = response.headers.get("Content-Type", "")
+                if kind.startswith("application/json"):
+                    return json.loads(body)
+                return body
+        except urllib.error.HTTPError as exc:
+            self._raise_for(exc)
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                "cannot reach %s: %s" % (url, exc.reason)
+            ) from exc
+
+    @staticmethod
+    def _raise_for(exc):
+        try:
+            detail = json.loads(exc.read().decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            detail = {}
+        message = detail.get("error") or ("HTTP %d" % exc.code)
+        if exc.code == 429:
+            raise BudgetExceededError(
+                message,
+                tenant=detail.get("tenant"),
+                budget=detail.get("budget"),
+            ) from exc
+        raise ServiceError(message) from exc
+
+    # -- API ----------------------------------------------------------------
+
+    def submit(self, spec):
+        """Submit a :class:`JobSpec` (or its dict form); returns the
+        job id."""
+        if isinstance(spec, JobSpec):
+            spec = spec.to_dict()
+        return self._request("POST", "/v1/jobs", spec)["job"]
+
+    def status(self, job_id):
+        return self._request("GET", "/v1/jobs/%s" % job_id)
+
+    def result(self, job_id):
+        return self._request("GET", "/v1/jobs/%s/result" % job_id)
+
+    def failure(self, job_id):
+        """The quarantine report of a failed job."""
+        return self._request("GET", "/v1/jobs/%s/failure" % job_id)
+
+    def cancel(self, job_id):
+        return self._request("POST", "/v1/jobs/%s/cancel" % job_id)
+
+    def jobs(self):
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def metrics_text(self):
+        """The service metrics in OpenMetrics text form."""
+        return self._request("GET", "/v1/metrics")
+
+    def health(self):
+        return self._request("GET", "/v1/healthz")
+
+    def wait(self, job_id, timeout=None, poll=0.2):
+        """Poll until the job is terminal; returns its final status.
+
+        Raises :class:`ServiceError` when ``timeout`` seconds pass
+        first.
+        """
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    "job %s still %s after %gs"
+                    % (job_id, status["state"], timeout)
+                )
+            time.sleep(poll)

@@ -1,0 +1,269 @@
+"""``repro-serve``: a stdlib-only HTTP front end for the supervisor.
+
+One :class:`~repro.service.supervisor.Supervisor` sits behind a
+:class:`http.server.ThreadingHTTPServer`; a single background pump
+thread drives the supervisor event loop while handler threads only
+touch the (locked) public supervisor API.  The JSON routes:
+
+====== ============================ =======================================
+POST   ``/v1/jobs``                 submit a job spec; ``{"job": id}``
+GET    ``/v1/jobs/<id>``            status
+GET    ``/v1/jobs/<id>/result``     result (409 while not completed)
+GET    ``/v1/jobs/<id>/failure``    quarantine report (404 until failed)
+POST   ``/v1/jobs/<id>/cancel``     cancel
+GET    ``/v1/jobs``                 ``{"jobs": [[id, state], ...]}``
+GET    ``/v1/metrics``              OpenMetrics text exposition
+GET    ``/v1/healthz``              liveness + pool size
+====== ============================ =======================================
+
+Tenant budget rejections map to HTTP 429, unknown jobs to 404, bad
+specs to 400.  There is deliberately no TLS/auth story here -- the
+service fronts a trusted lab network, like the remote co-simulation
+bridge (:mod:`repro.cosim`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from types import SimpleNamespace
+
+from repro.obs.export import to_openmetrics
+from repro.service.job import JOB_FAILED, ServicePolicy, TenantBudget
+from repro.service.supervisor import Supervisor
+from repro.support.errors import BudgetExceededError, ReproError, ServiceError
+
+
+class _Pump(threading.Thread):
+    """Drives ``supervisor.pump`` until asked to stop."""
+
+    def __init__(self, supervisor, poll=0.05):
+        super().__init__(name="repro-serve-pump", daemon=True)
+        self.supervisor = supervisor
+        self.poll = poll
+        self.stop_event = threading.Event()
+
+    def run(self):
+        while not self.stop_event.is_set():
+            self.supervisor.pump(self.poll)
+
+    def stop(self):
+        self.stop_event.set()
+        self.join(timeout=5.0)
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the supervisor's thread-safe API."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # quiet by default
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def supervisor(self):
+        return self.server.supervisor
+
+    def _reply(self, code, payload):
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_text(self, code, text, content_type="text/plain"):
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(raw.decode("utf-8")) if raw else {}
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceError("request body is not JSON: %s" % exc)
+
+    def _job_id(self, parts):
+        return parts[2] if len(parts) > 2 else None
+
+    # -- routes -------------------------------------------------------------
+
+    def do_GET(self):
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        try:
+            if parts == ["v1", "healthz"]:
+                with self.supervisor._lock:
+                    workers = len(self.supervisor._workers)
+                self._reply(200, {"ok": True, "workers": workers})
+            elif parts == ["v1", "metrics"]:
+                shim = SimpleNamespace(metrics=self.supervisor.metrics)
+                self._reply_text(
+                    200, to_openmetrics(shim),
+                    content_type=(
+                        "application/openmetrics-text; version=1.0.0"
+                    ),
+                )
+            elif parts == ["v1", "jobs"]:
+                self._reply(200, {"jobs": self.supervisor.jobs()})
+            elif (len(parts) == 3 and parts[:2] == ["v1", "jobs"]):
+                self._reply(200, self.supervisor.status(parts[2]))
+            elif (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+                  and parts[3] == "result"):
+                self._reply(200, self.supervisor.result(parts[2]))
+            elif (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+                  and parts[3] == "failure"):
+                failure = self.supervisor.failure(parts[2])
+                if failure is None:
+                    self._reply(404, {
+                        "error": "job %s is not quarantined" % parts[2]
+                    })
+                else:
+                    self._reply(200, failure)
+            else:
+                self._reply(404, {"error": "no such route"})
+        except ServiceError as exc:
+            self._service_error(exc)
+
+    def do_POST(self):
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        try:
+            if parts == ["v1", "jobs"]:
+                spec = self._read_json()
+                job_id = self.supervisor.submit(spec)
+                self._reply(202, {"job": job_id})
+            elif (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+                  and parts[3] == "cancel"):
+                self._reply(200, self.supervisor.cancel(parts[2]))
+            else:
+                self._reply(404, {"error": "no such route"})
+        except BudgetExceededError as exc:
+            self._reply(429, {
+                "error": str(exc),
+                "tenant": exc.tenant,
+                "budget": exc.budget,
+            })
+        except ReproError as exc:
+            self._reply(400, {"error": str(exc)})
+
+    def _service_error(self, exc):
+        message = str(exc)
+        if "unknown job" in message:
+            self._reply(404, {"error": message})
+        elif "no result" in message:
+            self._reply(409, {"error": message})
+        elif "quarantined" in message:
+            self._reply(409, {"error": message, "state": JOB_FAILED})
+        else:
+            self._reply(400, {"error": message})
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """The HTTP server bound to one supervisor; owns the pump thread."""
+
+    daemon_threads = True
+
+    def __init__(self, address, supervisor, verbose=False):
+        super().__init__(address, ServiceHandler)
+        self.supervisor = supervisor
+        self.verbose = verbose
+        self.pump = _Pump(supervisor)
+
+    def start_pump(self):
+        self.pump.start()
+
+    def close(self):
+        self.pump.stop()
+        self.shutdown()
+        self.server_close()
+        self.supervisor.shutdown()
+
+
+def _parse_tenant(text):
+    """``name:active:total:per_job`` with ``-`` for unmetered slots."""
+    fields = text.split(":")
+    if len(fields) != 4:
+        raise argparse.ArgumentTypeError(
+            "tenant budgets look like name:active:total:per_job "
+            "(use '-' for no limit)"
+        )
+    name = fields[0]
+
+    def limit(raw):
+        return None if raw in ("", "-") else int(raw)
+
+    return name, TenantBudget(
+        max_active_jobs=limit(fields[1]),
+        max_total_cycles=limit(fields[2]),
+        max_cycles_per_job=limit(fields[3]),
+    )
+
+
+def serve_main(argv=None):
+    """Entry point for the ``repro-serve`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve simulation jobs over HTTP on a supervised "
+                    "worker pool with checkpoint-based recovery.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker pool size (default: 2)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="shared simulation-table cache directory")
+    parser.add_argument("--max-retries", type=int, default=3,
+                        help="retry budget before quarantine")
+    parser.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                        help="seconds of worker silence before a kill")
+    parser.add_argument("--report-dir", default=None,
+                        help="directory for JobFailure quarantine "
+                             "reports")
+    parser.add_argument("--tenant", action="append", default=[],
+                        type=_parse_tenant, metavar="NAME:A:T:P",
+                        help="tenant budget as "
+                             "name:max_active:max_total_cycles:"
+                             "max_cycles_per_job ('-' = unlimited)")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    policy = ServicePolicy(
+        max_retries=args.max_retries,
+        heartbeat_timeout=args.heartbeat_timeout,
+        report_dir=args.report_dir,
+    )
+    supervisor = Supervisor(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        policy=policy,
+        tenants=dict(args.tenant),
+    )
+    server = ServiceServer((args.host, args.port), supervisor,
+                           verbose=args.verbose)
+    server.start_pump()
+    host, port = server.server_address[:2]
+    print("repro-serve: %d worker(s) on http://%s:%d/v1/" %
+          (args.workers, host, port))
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        print("repro-serve: shutting down")
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(serve_main())

@@ -113,6 +113,26 @@ class CheckpointError(SimulationError):
     format mismatch, or a snapshot from a different model/program)."""
 
 
+class ServiceError(ReproError):
+    """The simulation job service cannot satisfy a request (unknown
+    job, transport failure, pool shut down, drain deadline missed)."""
+
+
+class BudgetExceededError(ServiceError):
+    """A job submission exceeds its tenant's budget (active-job limit,
+    total-cycle allowance, or per-job cycle ceiling).
+
+    ``tenant`` names the budgeted tenant and ``budget`` the exhausted
+    dimension (``"active_jobs"``, ``"total_cycles"`` or
+    ``"cycles_per_job"``).
+    """
+
+    def __init__(self, message, tenant=None, budget=None):
+        self.tenant = tenant
+        self.budget = budget
+        super().__init__(message)
+
+
 def annotate_simulation_error(exc, cycles=None, pc=None):
     """Attach run-position context to an error raised mid-simulation.
 

@@ -349,3 +349,120 @@ class TestCliRoundTrip:
         ]) == 0
         out = capsys.readouterr().out
         assert "halted" in out
+
+
+class TestRunConfigMetadata:
+    """Checkpoints stamp how the run was configured (backend, tiering)
+    so a resume can re-apply the configuration instead of silently
+    reverting to defaults."""
+
+    def test_capture_stamps_backend_and_tiering(
+        self, testmodel, loop_program
+    ):
+        simulator = create_simulator(
+            testmodel, "compiled", backend="python", tiering="aggressive"
+        )
+        simulator.load_program(loop_program)
+        for _ in range(MID_RUN_CYCLE):
+            simulator.step()
+        checkpoint = simulator.checkpoint()
+        assert checkpoint.backend == "python"
+        assert checkpoint.tiering == "aggressive"
+
+        clone = Checkpoint.from_payload(checkpoint.to_payload())
+        assert clone.backend == "python"
+        assert clone.tiering == "aggressive"
+
+    def test_legacy_payload_defaults_to_auto_off(
+        self, testmodel, loop_program
+    ):
+        checkpoint = _mid_run_checkpoint(
+            testmodel, "compiled", loop_program
+        )
+        payload = checkpoint.to_payload()
+        # a file written before the metadata existed lacks the keys
+        del payload["backend"]
+        del payload["tiering"]
+        legacy = Checkpoint.from_payload(payload)
+        assert legacy.backend == "auto"
+        assert legacy.tiering == "off"
+
+    def test_restore_stays_config_portable(self, testmodel, loop_program,
+                                           reference_runs):
+        # metadata never *gates* restore: a python-backend checkpoint
+        # restores fine on an auto-backend simulator
+        simulator = create_simulator(
+            testmodel, "compiled", backend="python"
+        )
+        simulator.load_program(loop_program)
+        for _ in range(MID_RUN_CYCLE):
+            simulator.step()
+        checkpoint = simulator.checkpoint()
+
+        fresh = create_simulator(testmodel, "compiled")
+        fresh.load_program(loop_program)
+        fresh.restore(checkpoint)
+        stats = fresh.run(max_cycles=10_000)
+        cycles, snapshot = reference_runs["compiled"]
+        assert stats.cycles == cycles
+        assert fresh.state.snapshot() == snapshot
+
+
+class TestCliResumeConfig:
+    @pytest.fixture
+    def lisa_file(self, tmp_path):
+        path = tmp_path / "test.lisa"
+        path.write_text(TESTMODEL_SOURCE)
+        return str(path)
+
+    @pytest.fixture
+    def asm_file(self, tmp_path):
+        path = tmp_path / "loop.asm"
+        path.write_text(LOOP_SOURCE)
+        return str(path)
+
+    def test_resume_reapplies_stamped_flags(
+        self, tmp_path, lisa_file, asm_file, capsys
+    ):
+        ckpt = str(tmp_path / "loop.ckpt")
+        with pytest.raises(SystemExit) as excinfo:
+            sim_main([
+                lisa_file, asm_file, "--backend", "python",
+                "--tiering", "aggressive",
+                "--max-cycles", "15", "--checkpoint-file", ckpt,
+            ])
+        assert excinfo.value.code == 3
+        capsys.readouterr()
+        loaded = load_checkpoint(ckpt)
+        assert loaded.backend == "python"
+        assert loaded.tiering == "aggressive"
+
+        # uninterrupted reference
+        assert sim_main([lisa_file, asm_file, "--dump", "dmem:7"]) == 0
+        reference = capsys.readouterr().out
+
+        # bare --resume: stamped configuration is re-applied (visible
+        # in the resume banner), result identical to the reference
+        assert sim_main([
+            lisa_file, asm_file, "--resume", ckpt, "--dump", "dmem:7",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "backend python, tiering aggressive" in captured.err
+        assert captured.out == reference
+
+    def test_explicit_flags_override_stamped_ones(
+        self, tmp_path, lisa_file, asm_file, capsys
+    ):
+        ckpt = str(tmp_path / "loop.ckpt")
+        with pytest.raises(SystemExit):
+            sim_main([
+                lisa_file, asm_file, "--backend", "python",
+                "--max-cycles", "15", "--checkpoint-file", ckpt,
+            ])
+        capsys.readouterr()
+        assert sim_main([
+            lisa_file, asm_file, "--resume", ckpt,
+            "--tiering", "off", "--backend", "auto",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "backend auto, tiering off" in err

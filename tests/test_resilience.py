@@ -667,3 +667,158 @@ class TestFaultInjector:
             max_cycles=10_000,
         )
         assert seen == [4, 9]
+
+
+def _plan_victim_main(conn, plan, attempt, resume_cycles):
+    """Child-process body for process-kill plan tests (module level so
+    the spawn start method can import it).  Reports the compiled plan
+    size, runs it, and -- if the plan lets it live -- the final cycle
+    count.  Messages go over a Pipe, not a Queue: Connection.send
+    writes synchronously, so a plan that SIGKILLs the process cannot
+    outrun a message already sent (a Queue's feeder thread can lose
+    the race)."""
+    from tests.conftest import TESTMODEL_SOURCE
+
+    from repro.api import build_toolset
+    from repro.lisa.semantics import compile_source
+
+    model = compile_source(TESTMODEL_SOURCE, "testmodel.lisa")
+    tools = build_toolset(model)
+    program = tools.assembler.assemble_text(SMC_SOURCE, name="smc")
+    injector = FaultInjector()
+    compiled = injector.compile_plan(
+        plan, attempt=attempt, resume_cycles=resume_cycles
+    )
+    conn.send(("compiled", len(compiled)))
+    simulator = create_simulator(model, "compiled")
+    simulator.load_program(program)
+    stats = injector.run_with_faults(
+        simulator, compiled, max_cycles=10_000
+    )
+    conn.send(("finished", stats.cycles))
+    conn.close()
+
+
+class TestFaultPlans:
+    """The serialisable plan format the service ships to workers."""
+
+    def _run_victim(self, plan, attempt=1, resume_cycles=0):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        import time
+
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_plan_victim_main,
+            args=(child_conn, plan, attempt, resume_cycles),
+        )
+        process.start()
+        child_conn.close()
+        events = []
+        deadline = time.monotonic() + 120
+        try:
+            while time.monotonic() < deadline:
+                if parent_conn.poll(0.2):
+                    try:
+                        events.append(parent_conn.recv())
+                    except EOFError:
+                        break  # child gone, pipe drained
+                    if events[-1][0] == "finished":
+                        break
+                elif not process.is_alive():
+                    # killed (or done); drain anything left in the pipe
+                    while parent_conn.poll(0):
+                        try:
+                            events.append(parent_conn.recv())
+                        except EOFError:
+                            break
+                    break
+        finally:
+            process.join(timeout=60)
+            parent_conn.close()
+        return process.exitcode, dict(events)
+
+    def test_process_kill_takes_the_process_down(self):
+        import signal as _signal
+
+        plan = ({"cycle": 6, "action": "process_kill", "args": {}},)
+        exitcode, events = self._run_victim(plan)
+        assert events.get("compiled") == 1
+        assert "finished" not in events
+        assert exitcode == -_signal.SIGKILL
+
+    def test_plan_attempt_filter_spares_later_attempts(self):
+        plan = ({"cycle": 6, "action": "process_kill",
+                 "attempts": [1]},)
+        exitcode, events = self._run_victim(plan, attempt=2)
+        assert events.get("compiled") == 0
+        assert "finished" in events
+        assert exitcode == 0
+
+    def test_plan_resume_filter_drops_survived_faults(self):
+        # resumed past cycle 6, the kill at 6 has already been survived
+        plan = ({"cycle": 6, "action": "process_kill"},)
+        exitcode, events = self._run_victim(plan, resume_cycles=8)
+        assert events.get("compiled") == 0
+        assert "finished" in events
+        assert exitcode == 0
+
+    def test_unknown_plan_action_is_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ReproError, match="unknown fault-plan"):
+            injector.compile_plan(
+                [{"cycle": 3, "action": "summon_gremlin"}]
+            )
+
+    def test_compiled_plan_drives_state_faults(
+        self, testmodel, smc_program
+    ):
+        # the data form and the direct lambda form must be equivalent
+        injector = FaultInjector()
+        direct = create_simulator(testmodel, "compiled")
+        direct.load_program(smc_program)
+        injector.run_with_faults(
+            direct,
+            [(5, lambda sim: injector.flip_memory_bit(
+                sim, "dmem", address=3, bit=2))],
+            max_cycles=10_000,
+        )
+
+        planned = FaultInjector()
+        victim = create_simulator(testmodel, "compiled")
+        victim.load_program(smc_program)
+        plan = planned.compile_plan([
+            {"cycle": 5, "action": "flip_memory_bit",
+             "args": {"memory": "dmem", "address": 3, "bit": 2}},
+        ])
+        planned.run_with_faults(victim, plan, max_cycles=10_000)
+        assert victim.state.snapshot() == direct.state.snapshot()
+
+    def test_stepping_phase_keeps_snapshot_cadence(
+        self, testmodel, smc_program
+    ):
+        # while a fault is still pending, run_with_faults *steps* the
+        # engine; autosnapshots must keep their cadence there too, or a
+        # process kill before the first budget-run chunk would lose
+        # everything
+        beats = []
+        injector = FaultInjector()
+        simulator = create_simulator(testmodel, "compiled")
+        simulator.load_program(smc_program)
+        budget = RunBudget(checkpoint_every=4, check_interval=4)
+        injector.run_with_faults(
+            simulator,
+            [(17, lambda sim: None)],   # pending until cycle 17
+            max_cycles=10_000,
+            budget=budget,
+            on_checkpoint=lambda snap: beats.append(snap.cycles),
+        )
+        stepped_beats = [c for c in beats if c <= 17]
+        assert stepped_beats, "no autosnapshot during the stepping phase"
+        assert stepped_beats[0] <= 8  # cadence held from the start
+        for earlier, later in zip(beats, beats[1:]):
+            assert later > earlier

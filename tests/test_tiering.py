@@ -530,3 +530,83 @@ class TestCli:
                          "--stats-json", str(stats_path)]) == 0
         payload = json.loads(stats_path.read_text())
         assert "tier_timeline" not in payload
+
+
+def _restore_child_main(queue, payload, kind, tiered):
+    """Child-process body (module level for spawn): rebuild the world
+    from source, restore the autosnapshot payload, finish the run."""
+    from tests.conftest import TESTMODEL_SOURCE
+
+    from repro.api import build_toolset
+    from repro.lisa.semantics import compile_source
+    from repro.resilience.checkpoint import Checkpoint
+
+    model = compile_source(TESTMODEL_SOURCE, "testmodel.lisa")
+    tools = build_toolset(model)
+    program = tools.assembler.assemble_text(LOOP_SOURCE, name="loop")
+    simulator = create_simulator(
+        model, kind, tiering=forced_policy() if tiered else "off"
+    )
+    simulator.load_program(program)
+    simulator.restore(Checkpoint.from_payload(payload))
+    stats = simulator.run(max_cycles=100_000)
+    queue.put((stats.cycles, simulator.state.snapshot()))
+
+
+class TestFreshProcessRestore:
+    """A mid-promotion *autosnapshot* (the streamed payload form the
+    service's workers ship over pipes) restores bit-exactly in a fresh
+    process that rebuilt model, toolset and program from source --
+    nothing process-local (table ids, promoted-window handles, cache
+    state) may hide inside the payload."""
+
+    @pytest.fixture(scope="class")
+    def streamed_snapshots(self, testmodel, loop_program):
+        from repro.resilience import RunBudget
+
+        beats = []
+        simulator = create_simulator(testmodel, "compiled",
+                                     tiering=forced_policy())
+        simulator.load_program(loop_program)
+
+        def on_checkpoint(snapshot):
+            beats.append(
+                (snapshot.to_payload(), len(promotions(simulator)))
+            )
+
+        budget = RunBudget(checkpoint_every=10)
+        stats = simulator.run(max_cycles=100_000, budget=budget,
+                              on_checkpoint=on_checkpoint)
+        mid = [payload for payload, promoted in beats if promoted >= 1]
+        assert mid, "no autosnapshot landed after a promotion"
+        return mid[0], stats.cycles, simulator.state.snapshot()
+
+    @pytest.mark.parametrize("kind,tiered", [
+        ("compiled", True),     # tiered engine again in the child
+        ("compiled", False),    # plain table-driven child
+        ("interpretive", False),
+    ])
+    def test_autosnapshot_restores_in_fresh_process(
+        self, streamed_snapshots, kind, tiered
+    ):
+        import multiprocessing
+
+        payload, final_cycles, final_state = streamed_snapshots
+        assert payload["cycles"] > 0
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        queue = ctx.Queue()
+        process = ctx.Process(
+            target=_restore_child_main,
+            args=(queue, payload, kind, tiered),
+        )
+        process.start()
+        try:
+            child_cycles, child_state = queue.get(timeout=120)
+        finally:
+            process.join(timeout=60)
+        assert process.exitcode == 0
+        assert child_cycles == final_cycles
+        assert child_state == final_state
